@@ -1,0 +1,475 @@
+//! The core [`Aig`] data structure.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An AIG variable: an index into the node table.
+///
+/// Variable 0 is the constant-false node; inputs and AND gates follow.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The positive-polarity literal of this variable.
+    pub fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The raw index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a polarity bit (AIGER encoding —
+/// `var * 2 + complement`).
+///
+/// ```
+/// use aig::{Lit, Var};
+/// let x = Var(3).lit();
+/// assert!(!x.is_complemented());
+/// assert!((!x).is_complemented());
+/// assert_eq!(!!x, x);
+/// assert_eq!(x.var(), Var(3));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns this literal with polarity set by `c`.
+    pub fn with_complement(self, c: bool) -> Lit {
+        Lit((self.0 & !1) | u32::from(c))
+    }
+
+    /// Returns `true` if this is one of the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.var() == Var(0)
+    }
+
+    /// The raw AIGER encoding of this literal.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::ops::BitXor<bool> for Lit {
+    type Output = Lit;
+    fn bitxor(self, rhs: bool) -> Lit {
+        Lit(self.0 ^ u32::from(rhs))
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!{}", self.var().0)
+        } else {
+            write!(f, "{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A node in the AIG.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// The constant-false node (always variable 0).
+    Const,
+    /// A primary input; the payload is its ordinal among the inputs.
+    Input(u32),
+    /// A two-input AND gate over two literals.
+    And(Lit, Lit),
+}
+
+/// A combinational And-Inverter Graph with structural hashing.
+///
+/// Nodes are stored in topological order by construction: an AND's
+/// fanins always precede it. Trivial ANDs are folded (`x & 1 = x`,
+/// `x & 0 = 0`, `x & x = x`, `x & !x = 0`) and fanin pairs are
+/// canonically ordered, so structurally equal gates are shared.
+///
+/// ```
+/// use aig::Aig;
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let ab1 = aig.and(a, b);
+/// let ab2 = aig.and(b, a);
+/// assert_eq!(ab1, ab2); // structural hashing
+/// aig.add_output("y", ab1);
+/// assert_eq!(aig.num_ands(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(Lit, Lit), Var>,
+    inputs: Vec<Var>,
+    outputs: Vec<(String, Lit)>,
+}
+
+impl Aig {
+    /// Creates an empty AIG (just the constant node).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Const],
+            strash: HashMap::new(),
+            inputs: vec![],
+            outputs: vec![],
+        }
+    }
+
+    /// Number of nodes including the constant (AIGER's `M + 1`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len()
+    }
+
+    /// The node of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn node(&self, var: Var) -> Node {
+        self.nodes[var.index()]
+    }
+
+    /// All nodes in topological order (constant first).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The primary input variables, in order.
+    pub fn inputs(&self) -> &[Var] {
+        &self.inputs
+    }
+
+    /// The primary outputs as `(name, literal)` pairs.
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Iterates over the AND-gate variables in topological order.
+    pub fn and_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, Node::And(..)))
+            .map(|(i, _)| Var(i as u32))
+    }
+
+    /// Adds a primary input, returning its (positive) literal.
+    pub fn add_input(&mut self) -> Lit {
+        let var = Var(self.nodes.len() as u32);
+        self.nodes.push(Node::Input(self.inputs.len() as u32));
+        self.inputs.push(var);
+        var.lit()
+    }
+
+    /// Adds `n` primary inputs.
+    pub fn add_inputs(&mut self, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| self.add_input()).collect()
+    }
+
+    /// Registers a named primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) {
+        assert!(
+            lit.var().index() < self.nodes.len(),
+            "output literal out of range"
+        );
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// The AND of two literals, with folding and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial folding.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&var) = self.strash.get(&(a, b)) {
+            return var.lit();
+        }
+        let var = Var(self.nodes.len() as u32);
+        self.nodes.push(Node::And(a, b));
+        self.strash.insert((a, b), var);
+        var.lit()
+    }
+
+    /// The OR of two literals (De Morgan).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// The XOR of two literals.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        // (a | b) & !(a & b)
+        let o = self.or(a, b);
+        let n = self.and(a, b);
+        self.and(o, !n)
+    }
+
+    /// The XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let st = self.and(sel, t);
+        let se = self.and(!sel, e);
+        self.or(st, se)
+    }
+
+    /// The three-input majority `(a&b) | (a&c) | (b&c)`.
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let o = self.or(ab, ac);
+        self.or(o, bc)
+    }
+
+    /// The three-input XOR.
+    pub fn xor3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.xor(a, b);
+        self.xor(ab, c)
+    }
+
+    /// AND over an iterator of literals (true for empty input).
+    pub fn and_all<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        lits.into_iter()
+            .fold(Lit::TRUE, |acc, l| self.and(acc, l))
+    }
+
+    /// OR over an iterator of literals (false for empty input).
+    pub fn or_all<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        lits.into_iter().fold(Lit::FALSE, |acc, l| self.or(acc, l))
+    }
+
+    /// Computes the fanout count of every variable (outputs count once
+    /// per reference).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            if let Node::And(a, b) = node {
+                counts[a.var().index()] += 1;
+                counts[b.var().index()] += 1;
+            }
+        }
+        for (_, lit) in &self.outputs {
+            counts[lit.var().index()] += 1;
+        }
+        counts
+    }
+
+    /// Logic level (depth) of each variable; inputs and the constant are
+    /// level 0.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::And(a, b) = node {
+                levels[i] = 1 + levels[a.var().index()].max(levels[b.var().index()]);
+            }
+        }
+        levels
+    }
+
+    /// The maximum logic level over all outputs.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.outputs
+            .iter()
+            .map(|(_, l)| levels[l.var().index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns a copy containing only logic reachable from the outputs,
+    /// with inputs preserved (dead AND gates removed).
+    pub fn trim(&self) -> Aig {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<Var> = self.outputs.iter().map(|(_, l)| l.var()).collect();
+        while let Some(v) = stack.pop() {
+            if reachable[v.index()] {
+                continue;
+            }
+            reachable[v.index()] = true;
+            if let Node::And(a, b) = self.nodes[v.index()] {
+                stack.push(a.var());
+                stack.push(b.var());
+            }
+        }
+        let mut new = Aig::new();
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
+        for &input in &self.inputs {
+            map[input.index()] = new.add_input();
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::And(a, b) = node {
+                if reachable[i] {
+                    let fa = map[a.var().index()] ^ a.is_complemented();
+                    let fb = map[b.var().index()] ^ b.is_complemented();
+                    map[i] = new.and(fa, fb);
+                }
+            }
+        }
+        for (name, lit) in &self.outputs {
+            let l = map[lit.var().index()] ^ lit.is_complemented();
+            new.add_output(name.clone(), l);
+        }
+        new
+    }
+
+    /// Maps a literal of `self` through a translation table produced
+    /// while rebuilding (`table[var] = new positive literal`).
+    pub fn translate(table: &[Lit], lit: Lit) -> Lit {
+        table[lit.var().index()] ^ lit.is_complemented()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding() {
+        assert_eq!(Lit::FALSE, !Lit::TRUE);
+        assert!(Lit::TRUE.is_complemented());
+        assert!(Lit::FALSE.is_const());
+        let v = Var(5);
+        assert_eq!(v.lit().raw(), 10);
+        assert_eq!((!v.lit()).raw(), 11);
+        assert_eq!(v.lit().with_complement(true), !v.lit());
+    }
+
+    #[test]
+    fn and_folds_constants() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn strash_shares_structure() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        let z1 = aig.and(x, c);
+        let z2 = aig.and(c, y);
+        assert_eq!(z1, z2);
+        assert_eq!(aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn derived_gates_have_expected_size() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        aig.xor(a, b);
+        assert_eq!(aig.num_ands(), 3);
+        let mut aig2 = Aig::new();
+        let a = aig2.add_input();
+        let b = aig2.add_input();
+        let c = aig2.add_input();
+        aig2.maj(a, b, c);
+        assert_eq!(aig2.num_ands(), 5);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_output("y", abc);
+        assert_eq!(aig.depth(), 2);
+        let levels = aig.levels();
+        assert_eq!(levels[ab.var().index()], 1);
+        assert_eq!(levels[abc.var().index()], 2);
+    }
+
+    #[test]
+    fn trim_removes_dead_logic() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let keep = aig.and(a, b);
+        let _dead = aig.or(a, b);
+        aig.add_output("y", keep);
+        assert_eq!(aig.num_ands(), 2);
+        let trimmed = aig.trim();
+        assert_eq!(trimmed.num_ands(), 1);
+        assert_eq!(trimmed.num_inputs(), 2);
+        assert_eq!(trimmed.num_outputs(), 1);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        aig.add_output("y1", x);
+        aig.add_output("y2", !x);
+        let counts = aig.fanout_counts();
+        assert_eq!(counts[x.var().index()], 2);
+        assert_eq!(counts[a.var().index()], 1);
+    }
+}

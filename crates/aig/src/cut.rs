@@ -1,0 +1,299 @@
+//! K-feasible cut enumeration with cut functions.
+//!
+//! A cut of node `r` is a set of leaves such that every path from the
+//! primary inputs to `r` crosses a leaf. Cut enumeration is the core of
+//! ABC-style structural reasoning and technology mapping; BoolE's
+//! baseline (`&atree`) detects full adders by pairing XOR3/MAJ cuts.
+
+use crate::tt::Tt;
+use crate::{Aig, Node, Var};
+
+/// A cut: sorted leaf variables plus the root function over them.
+///
+/// The truth-table variable `i` corresponds to `leaves[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// The sorted leaf variables.
+    pub leaves: Vec<Var>,
+    /// The root's function in terms of the leaves.
+    pub tt: Tt,
+}
+
+impl Cut {
+    /// The trivial cut of a variable: `{v}` with identity function.
+    pub fn unit(v: Var) -> Cut {
+        Cut {
+            leaves: vec![v],
+            tt: Tt::var(1, 0),
+        }
+    }
+
+    /// Cut size (number of leaves).
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` if `self`'s leaves are a subset of `other`'s.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.contains(l))
+    }
+}
+
+/// Parameters for cut enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutParams {
+    /// Maximum cut size `K` (2..=6).
+    pub k: usize,
+    /// Maximum number of cuts kept per node (priority cuts); the unit
+    /// cut is always kept in addition.
+    pub max_cuts: usize,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        // The paper's reasoning uses 3-feasible cuts.
+        Self { k: 3, max_cuts: 24 }
+    }
+}
+
+/// Enumerates cuts for every variable of `aig`; the result is indexed
+/// by variable.
+///
+/// # Panics
+///
+/// Panics if `params.k` is outside `2..=6`.
+pub fn enumerate_cuts(aig: &Aig, params: &CutParams) -> Vec<Vec<Cut>> {
+    assert!(
+        (2..=Tt::MAX_VARS).contains(&params.k),
+        "cut size must be in 2..=6"
+    );
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let v = Var(i as u32);
+        match *node {
+            Node::Const => {
+                cuts[i] = vec![Cut {
+                    leaves: vec![],
+                    tt: Tt::zero(0),
+                }];
+            }
+            Node::Input(_) => {
+                cuts[i] = vec![Cut::unit(v)];
+            }
+            Node::And(f0, f1) => {
+                let mut merged: Vec<Cut> = Vec::new();
+                for c0 in &cuts[f0.var().index()] {
+                    for c1 in &cuts[f1.var().index()] {
+                        if let Some(cut) =
+                            merge_cuts(c0, f0.is_complemented(), c1, f1.is_complemented(), params.k)
+                        {
+                            merged.push(cut);
+                        }
+                    }
+                }
+                // Dedup by leaves (same leaves always imply same tt for a
+                // fixed root), then drop dominated cuts.
+                merged.sort_by(|a, b| a.leaves.cmp(&b.leaves));
+                merged.dedup_by(|a, b| a.leaves == b.leaves);
+                let mut kept: Vec<Cut> = Vec::new();
+                // Prefer smaller cuts when pruning dominated ones.
+                merged.sort_by_key(|c| c.size());
+                for cut in merged {
+                    if !kept.iter().any(|k| k.dominates(&cut)) {
+                        kept.push(cut);
+                    }
+                    if kept.len() >= params.max_cuts {
+                        break;
+                    }
+                }
+                kept.push(Cut::unit(v));
+                cuts[i] = kept;
+            }
+        }
+    }
+    cuts
+}
+
+/// Merges two child cuts across an AND gate, or returns `None` if the
+/// merged leaf set exceeds `k`.
+fn merge_cuts(c0: &Cut, neg0: bool, c1: &Cut, neg1: bool, k: usize) -> Option<Cut> {
+    let mut leaves: Vec<Var> = c0.leaves.clone();
+    for &l in &c1.leaves {
+        if !leaves.contains(&l) {
+            leaves.push(l);
+        }
+    }
+    if leaves.len() > k {
+        return None;
+    }
+    leaves.sort_unstable();
+    let t0 = expand_tt(c0.tt, &c0.leaves, &leaves);
+    let t1 = expand_tt(c1.tt, &c1.leaves, &leaves);
+    let t0 = if neg0 { !t0 } else { t0 };
+    let t1 = if neg1 { !t1 } else { t1 };
+    Some(Cut {
+        tt: t0 & t1,
+        leaves,
+    })
+}
+
+/// Re-expresses `tt` (over `from` leaves) on the superset `to` leaves.
+pub fn expand_tt(tt: Tt, from: &[Var], to: &[Var]) -> Tt {
+    debug_assert!(from.iter().all(|l| to.contains(l)));
+    let positions: Vec<usize> = from
+        .iter()
+        .map(|l| to.iter().position(|t| t == l).expect("leaf must be in superset"))
+        .collect();
+    let n = to.len();
+    let mut bits = 0u64;
+    for idx in 0..(1usize << n) {
+        let mut sub = 0usize;
+        for (i, &pos) in positions.iter().enumerate() {
+            if (idx >> pos) & 1 == 1 {
+                sub |= 1 << i;
+            }
+        }
+        if tt.eval(sub) {
+            bits |= 1 << idx;
+        }
+    }
+    Tt::from_bits(n, bits)
+}
+
+/// Computes the function of `root` over an arbitrary leaf set by cone
+/// simulation, or `None` if the cone reaches a primary input (or the
+/// constant) that is not in `leaves`, or has more than 6 leaves.
+///
+/// Unlike [`enumerate_cuts`], this evaluates one specific (root, leaf
+/// set) pair; it is used to validate detected blocks.
+pub fn cone_tt(aig: &Aig, root: Var, leaves: &[Var]) -> Option<Tt> {
+    if leaves.len() > Tt::MAX_VARS {
+        return None;
+    }
+    let n = leaves.len();
+    let mut memo: std::collections::HashMap<Var, Tt> = std::collections::HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, Tt::var(n, i));
+    }
+    fn go(
+        aig: &Aig,
+        v: Var,
+        n: usize,
+        memo: &mut std::collections::HashMap<Var, Tt>,
+    ) -> Option<Tt> {
+        if let Some(&tt) = memo.get(&v) {
+            return Some(tt);
+        }
+        let tt = match aig.node(v) {
+            Node::Const => Tt::zero(n),
+            Node::Input(_) => return None, // input not covered by leaves
+            Node::And(a, b) => {
+                let ta = go(aig, a.var(), n, memo)?;
+                let tb = go(aig, b.var(), n, memo)?;
+                let ta = if a.is_complemented() { !ta } else { ta };
+                let tb = if b.is_complemented() { !tb } else { tb };
+                ta & tb
+            }
+        };
+        memo.insert(v, tt);
+        Some(tt)
+    }
+    go(aig, root, n, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fa_aig() -> (Aig, crate::Lit, crate::Lit, Vec<Var>) {
+        // Full adder; returns (aig, sum_lit, carry_lit, input_vars).
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let s = aig.xor3(a, b, c);
+        let co = aig.maj(a, b, c);
+        aig.add_output("s", s);
+        aig.add_output("c", co);
+        (aig, s, co, vec![a.var(), b.var(), c.var()])
+    }
+
+    /// The function of `lit` given its root-variable truth table.
+    fn lit_tt(lit: crate::Lit, var_tt: Tt) -> Tt {
+        if lit.is_complemented() {
+            !var_tt
+        } else {
+            var_tt
+        }
+    }
+
+    #[test]
+    fn unit_cuts_for_inputs() {
+        let (aig, ..) = fa_aig();
+        let cuts = enumerate_cuts(&aig, &CutParams::default());
+        for &input in aig.inputs() {
+            assert_eq!(cuts[input.index()].len(), 1);
+            assert_eq!(cuts[input.index()][0], Cut::unit(input));
+        }
+    }
+
+    #[test]
+    fn finds_xor3_and_maj_cuts() {
+        let (aig, sum, carry, ins) = fa_aig();
+        let cuts = enumerate_cuts(&aig, &CutParams::default());
+        let sum_cut = cuts[sum.var().index()]
+            .iter()
+            .find(|c| c.leaves == ins)
+            .expect("sum must have the 3-input cut");
+        assert_eq!(lit_tt(sum, sum_cut.tt), Tt::xor3());
+        let carry_cut = cuts[carry.var().index()]
+            .iter()
+            .find(|c| c.leaves == ins)
+            .expect("carry must have the 3-input cut");
+        assert_eq!(lit_tt(carry, carry_cut.tt), Tt::maj3());
+    }
+
+    #[test]
+    fn cut_functions_match_cone_simulation() {
+        let (aig, sum, _, _) = fa_aig();
+        let sum = sum.var();
+        let cuts = enumerate_cuts(&aig, &CutParams { k: 4, max_cuts: 32 });
+        for cut in &cuts[sum.index()] {
+            if cut.leaves == [sum] {
+                continue; // unit cut
+            }
+            let tt = cone_tt(&aig, sum, &cut.leaves).expect("cut must cover cone");
+            assert_eq!(tt, cut.tt, "cut {:?}", cut.leaves);
+        }
+    }
+
+    #[test]
+    fn respects_k_limit() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(6);
+        let y = aig.and_all(ins.iter().copied());
+        aig.add_output("y", y);
+        let cuts = enumerate_cuts(&aig, &CutParams { k: 3, max_cuts: 64 });
+        for node_cuts in &cuts {
+            for c in node_cuts {
+                assert!(c.size() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn expand_tt_identity() {
+        let a = Var(1);
+        let b = Var(2);
+        let c = Var(3);
+        let f = Tt::xor2();
+        let expanded = expand_tt(f, &[a, b], &[a, b, c]);
+        assert_eq!(expanded, Tt::var(3, 0) ^ Tt::var(3, 1));
+    }
+
+    #[test]
+    fn cone_tt_rejects_uncovered_cone() {
+        let (aig, sum, _, ins) = fa_aig();
+        assert!(cone_tt(&aig, sum.var(), &ins[..2]).is_none());
+    }
+}

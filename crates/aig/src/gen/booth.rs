@@ -1,0 +1,175 @@
+//! Signed radix-4 Booth-encoded multipliers.
+
+use super::reduce::{reduce_columns, Columns, ReduceStats, ReduceStyle};
+use super::{GenStats, Multiplier};
+use crate::{Aig, Lit};
+
+/// Generates an `n × n` signed (two's complement) radix-4
+/// Booth-encoded multiplier with `2n` outputs — the paper's "Booth
+/// multiplier" benchmark family.
+///
+/// Each Booth digit selects among `{0, ±A, ±2A}`; negative selections
+/// use one's complement plus a correction bit. Partial products are
+/// sign-extended to the full width and reduced with the array-style
+/// carry-save reducer.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n` is odd.
+///
+/// ```
+/// use aig::gen::{booth_multiplier, pack_operands};
+/// use aig::sim::eval_u128;
+/// let aig = booth_multiplier(4);
+/// // -3 * 5 = -15; two's complement over 8 bits = 0xF1.
+/// let product = eval_u128(&aig, pack_operands(4, 0b1101, 0b0101));
+/// assert_eq!(product, 0xF1);
+/// ```
+pub fn booth_multiplier(n: usize) -> Aig {
+    booth_multiplier_with_stats(n).aig
+}
+
+/// Like [`booth_multiplier`], also returning FA/HA instantiation
+/// counts.
+pub fn booth_multiplier_with_stats(n: usize) -> Multiplier {
+    assert!(n >= 2, "multiplier width must be at least 2");
+    assert!(n % 2 == 0, "booth multiplier requires an even width");
+    let mut aig = Aig::new();
+    let a = aig.add_inputs(n);
+    let b = aig.add_inputs(n);
+    let width = 2 * n;
+
+    let mut cols = Columns::new();
+    let digits = n / 2;
+    for i in 0..digits {
+        // Booth window: (b[2i+1], b[2i], b[2i-1]) with b[-1] = 0.
+        let b_lo = if i == 0 { Lit::FALSE } else { b[2 * i - 1] };
+        let b_mid = b[2 * i];
+        let b_hi = b[2 * i + 1];
+
+        // single: |digit| == 1 ; double: |digit| == 2 ; neg: digit < 0.
+        let single = aig.xor(b_mid, b_lo);
+        let eq = aig.xnor(b_mid, b_lo); // b_mid == b_lo
+        // When b_mid == b_lo the digit is ±2 iff b_hi differs from
+        // them, else 0.
+        let hi_diff = aig.xor(b_hi, b_mid);
+        let double = aig.and(eq, hi_diff);
+        let neg = b_hi;
+
+        // Partial product bits before negation: n + 1 bits.
+        // bit j reads a[j] (single) or a[j-1] (double); a is
+        // sign-extended by one bit for the single case.
+        let mut row: Vec<Lit> = Vec::with_capacity(width - 2 * i);
+        for j in 0..=n {
+            let a_single = if j < n { a[j] } else { a[n - 1] };
+            let a_double = if j == 0 {
+                Lit::FALSE
+            } else if j - 1 < n {
+                a[j - 1]
+            } else {
+                a[n - 1]
+            };
+            let s_term = aig.and(single, a_single);
+            let d_term = aig.and(double, a_double);
+            let bit = aig.or(s_term, d_term);
+            row.push(aig.xor(bit, neg));
+        }
+        // Sign-extend the (possibly complemented) row to full width.
+        let msb = *row.last().expect("row is non-empty");
+        while row.len() < width - 2 * i {
+            row.push(msb);
+        }
+        cols.push_row(2 * i, &row);
+        // Two's complement correction: +neg at weight 2i.
+        cols.push(2 * i, neg);
+    }
+
+    let mut stats = ReduceStats::default();
+    let out = reduce_columns(&mut aig, cols, width, ReduceStyle::Array, &mut stats);
+    for (i, bit) in out.iter().enumerate() {
+        aig.add_output(format!("p{i}"), *bit);
+    }
+    Multiplier {
+        aig,
+        stats: GenStats {
+            full_adders: stats.full_adders,
+            half_adders: stats.half_adders,
+        },
+        fas: stats.fa_blocks,
+        has: stats.ha_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{pack_operands, sign_extend};
+    use crate::sim::eval_u128;
+
+    fn check_signed(aig: &Aig, n: usize, a: u128, b: u128) {
+        let product = eval_u128(aig, pack_operands(n, a, b));
+        let sa = sign_extend(a, n);
+        let sb = sign_extend(b, n);
+        let mask = (1u128 << (2 * n)) - 1;
+        let expect = ((sa * sb) as u128) & mask;
+        assert_eq!(
+            product, expect,
+            "{sa} * {sb} (n={n}): got {product:#x}, want {expect:#x}"
+        );
+    }
+
+    #[test]
+    fn booth_4bit_exhaustive() {
+        let aig = booth_multiplier(4);
+        for a in 0..16u128 {
+            for b in 0..16u128 {
+                check_signed(&aig, 4, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn booth_6bit_exhaustive() {
+        let aig = booth_multiplier(6);
+        for a in 0..64u128 {
+            for b in 0..64u128 {
+                check_signed(&aig, 6, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn booth_larger_widths_spot_checks() {
+        for n in [8usize, 12, 16] {
+            let aig = booth_multiplier(n);
+            let max = (1u128 << n) - 1;
+            let min_neg = 1u128 << (n - 1);
+            for (a, b) in [
+                (0, 0),
+                (1, max),
+                (max, max),
+                (min_neg, min_neg),
+                (min_neg, 1),
+                (max / 3, min_neg | 5),
+            ] {
+                check_signed(&aig, n, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn booth_has_adder_tree() {
+        let m = booth_multiplier_with_stats(8);
+        assert!(m.stats.full_adders > 0);
+        // Booth halves the partial-product rows, so it needs fewer FAs
+        // than the square array.
+        let csa = super::super::csa::csa_multiplier_with_stats(8);
+        assert!(m.stats.full_adders < csa.stats.full_adders);
+    }
+
+    #[test]
+    #[should_panic(expected = "even width")]
+    fn booth_rejects_odd_width() {
+        let _ = booth_multiplier(5);
+    }
+}

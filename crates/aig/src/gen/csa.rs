@@ -1,0 +1,140 @@
+//! Unsigned array multipliers: carry-save array (CSA) and Wallace-tree
+//! variants.
+
+use super::reduce::{reduce_columns, Columns, ReduceStats, ReduceStyle};
+use super::{GenStats, Multiplier};
+use crate::Aig;
+
+/// Generates an `n × n` unsigned carry-save **array** multiplier
+/// (`2n` outputs) — the "CSA multiplier" benchmark family of the paper.
+///
+/// The adder tree contains exactly `(n−1)² − 1` full adders, the
+/// paper's theoretical upper bound for FA reconstruction.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// ```
+/// use aig::gen::{csa_multiplier, pack_operands};
+/// use aig::sim::eval_u128;
+/// let aig = csa_multiplier(4);
+/// assert_eq!(eval_u128(&aig, pack_operands(4, 7, 9)), 63);
+/// ```
+pub fn csa_multiplier(n: usize) -> Aig {
+    csa_multiplier_with_stats(n).aig
+}
+
+/// Like [`csa_multiplier`], also returning FA/HA instantiation counts.
+pub fn csa_multiplier_with_stats(n: usize) -> Multiplier {
+    unsigned_multiplier(n, ReduceStyle::Array)
+}
+
+/// Generates an `n × n` unsigned multiplier with Wallace-tree
+/// reduction (same function as [`csa_multiplier`], different adder-tree
+/// topology).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn wallace_multiplier(n: usize) -> Aig {
+    unsigned_multiplier(n, ReduceStyle::Wallace).aig
+}
+
+fn unsigned_multiplier(n: usize, style: ReduceStyle) -> Multiplier {
+    assert!(n >= 2, "multiplier width must be at least 2");
+    let mut aig = Aig::new();
+    let a = aig.add_inputs(n);
+    let b = aig.add_inputs(n);
+    let mut cols = Columns::new();
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            let pp = aig.and(aj, bi);
+            cols.push(i + j, pp);
+        }
+    }
+    let mut stats = ReduceStats::default();
+    let out = reduce_columns(&mut aig, cols, 2 * n, style, &mut stats);
+    for (i, bit) in out.iter().enumerate() {
+        aig.add_output(format!("p{i}"), *bit);
+    }
+    Multiplier {
+        aig,
+        stats: GenStats {
+            full_adders: stats.full_adders,
+            half_adders: stats.half_adders,
+        },
+        fas: stats.fa_blocks,
+        has: stats.ha_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{csa_fa_upper_bound, pack_operands};
+    use crate::sim::eval_u128;
+
+    fn check_unsigned(aig: &Aig, n: usize, pairs: &[(u128, u128)]) {
+        for &(a, b) in pairs {
+            let product = eval_u128(aig, pack_operands(n, a, b));
+            let mask = (1u128 << (2 * n)) - 1;
+            assert_eq!(product, (a * b) & mask, "{a} * {b} (n={n})");
+        }
+    }
+
+    #[test]
+    fn csa_3bit_exhaustive() {
+        let aig = csa_multiplier(3);
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                check_unsigned(&aig, 3, &[(a, b)]);
+            }
+        }
+    }
+
+    #[test]
+    fn csa_4bit_exhaustive() {
+        let aig = csa_multiplier(4);
+        for a in 0..16u128 {
+            for b in 0..16u128 {
+                check_unsigned(&aig, 4, &[(a, b)]);
+            }
+        }
+    }
+
+    #[test]
+    fn csa_larger_widths_spot_checks() {
+        for n in [6, 8, 12, 16] {
+            let aig = csa_multiplier(n);
+            let max = (1u128 << n) - 1;
+            check_unsigned(
+                &aig,
+                n,
+                &[(0, 0), (1, max), (max, max), (max / 3, max / 5), (2, max / 2)],
+            );
+        }
+    }
+
+    #[test]
+    fn csa_fa_count_matches_upper_bound() {
+        for n in [3usize, 4, 6, 8, 12, 16] {
+            let m = csa_multiplier_with_stats(n);
+            assert_eq!(
+                m.stats.full_adders,
+                csa_fa_upper_bound(n),
+                "FA count for n={n}"
+            );
+            assert_eq!(m.stats.half_adders, n, "HA count for n={n}");
+        }
+    }
+
+    #[test]
+    fn wallace_matches_csa_function() {
+        for n in [4usize, 6, 8] {
+            let w = wallace_multiplier(n);
+            let c = csa_multiplier(n);
+            assert!(crate::sim::random_equiv_check(&w, &c, 8, 0xB0071E));
+        }
+    }
+}

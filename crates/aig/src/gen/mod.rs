@@ -1,0 +1,87 @@
+//! Arithmetic benchmark generators: the multiplier families evaluated
+//! in the BoolE paper plus their adder building blocks.
+//!
+//! All generators return plain [`Aig`]s with named outputs, and all are
+//! verified against integer semantics in the test suite.
+
+mod adders;
+mod booth;
+mod csa;
+mod reduce;
+
+pub use adders::{carry_lookahead_adder, carry_save_adder_3, full_adder, half_adder, ripple_carry_adder};
+pub use booth::{booth_multiplier, booth_multiplier_with_stats};
+pub use csa::{csa_multiplier, csa_multiplier_with_stats, wallace_multiplier};
+pub use reduce::{reduce_columns, reduce_dadda, ripple_sum, Columns, FaInstance, HaInstance, ReduceStats, ReduceStyle};
+
+use crate::Aig;
+
+/// Packs multiplier operands into the input-bit encoding used by
+/// [`crate::sim::eval_u128`]: `a` in the low `n` bits, `b` in the next
+/// `n` bits.
+pub fn pack_operands(n: usize, a: u128, b: u128) -> u128 {
+    let mask = (1u128 << n) - 1;
+    (a & mask) | ((b & mask) << n)
+}
+
+/// The theoretical upper bound on full adders in an `n`-bit CSA array
+/// multiplier, `(n − 1)² − 1`, as used by the paper (Section V, RQ1).
+pub fn csa_fa_upper_bound(n: usize) -> usize {
+    if n < 2 {
+        return 0;
+    }
+    (n - 1) * (n - 1) - 1
+}
+
+/// Sign-extends a `bits`-wide value to `i128`.
+pub fn sign_extend(value: u128, bits: usize) -> i128 {
+    let shift = 128 - bits;
+    ((value << shift) as i128) >> shift
+}
+
+/// Statistics reported by the multiplier generators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Full adders instantiated.
+    pub full_adders: usize,
+    /// Half adders instantiated.
+    pub half_adders: usize,
+}
+
+/// A generated multiplier plus its instantiation statistics.
+#[derive(Debug, Clone)]
+pub struct Multiplier {
+    /// The netlist.
+    pub aig: Aig,
+    /// How many FA/HA blocks the generator instantiated.
+    pub stats: GenStats,
+    /// The FA instances, as built (ground truth for experiments).
+    pub fas: Vec<FaInstance>,
+    /// The HA instances, as built.
+    pub has: Vec<HaInstance>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_formula() {
+        assert_eq!(csa_fa_upper_bound(3), 3);
+        assert_eq!(csa_fa_upper_bound(4), 8);
+        assert_eq!(csa_fa_upper_bound(128), 16_128);
+        assert_eq!(csa_fa_upper_bound(1), 0);
+    }
+
+    #[test]
+    fn pack_operands_layout() {
+        assert_eq!(pack_operands(4, 0b0111, 0b1001), 0b1001_0111);
+    }
+
+    #[test]
+    fn sign_extend_works() {
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+    }
+}

@@ -1,0 +1,383 @@
+//! Multi-operand carry-save reduction: the shared core of the array
+//! (CSA) and Booth multiplier generators.
+
+use super::adders::{full_adder, half_adder};
+use crate::{Aig, Lit};
+
+/// Partial-product columns: `cols[w]` holds the literals of weight `w`.
+#[derive(Debug, Clone, Default)]
+pub struct Columns {
+    cols: Vec<Vec<Lit>>,
+}
+
+impl Columns {
+    /// Creates an empty column set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `lit` at weight `weight`.
+    pub fn push(&mut self, weight: usize, lit: Lit) {
+        if lit == Lit::FALSE {
+            return;
+        }
+        if self.cols.len() <= weight {
+            self.cols.resize(weight + 1, Vec::new());
+        }
+        self.cols[weight].push(lit);
+    }
+
+    /// Adds a little-endian row starting at `offset`.
+    pub fn push_row(&mut self, offset: usize, row: &[Lit]) {
+        for (i, &lit) in row.iter().enumerate() {
+            self.push(offset + i, lit);
+        }
+    }
+
+    /// Number of columns (max weight + 1).
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The maximum column height.
+    pub fn max_height(&self) -> usize {
+        self.cols.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Access to column `w` (empty slice if out of range).
+    pub fn column(&self, w: usize) -> &[Lit] {
+        self.cols.get(w).map_or(&[], |c| c.as_slice())
+    }
+}
+
+/// How to schedule the carry-save reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceStyle {
+    /// Row-by-row accumulation — the classic *array* (CSA) multiplier
+    /// structure. For an `n`-bit square array this instantiates exactly
+    /// `n(n−2)` FAs and `n` HAs including the final ripple stage,
+    /// matching the paper's `(n−1)²−1` upper bound.
+    Array,
+    /// Column-parallel Dadda/Wallace-style tree reduction: keep
+    /// compressing every column with FAs/HAs until height ≤ 2.
+    Wallace,
+}
+
+/// A full-adder instance recorded by the generator (ground truth for
+/// the experiments: these are the blocks reasoning tools try to
+/// recover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaInstance {
+    /// The three input literals.
+    pub inputs: [Lit; 3],
+    /// The sum literal.
+    pub sum: Lit,
+    /// The carry literal.
+    pub carry: Lit,
+}
+
+/// A half-adder instance recorded by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaInstance {
+    /// The two input literals.
+    pub inputs: [Lit; 2],
+    /// The sum literal.
+    pub sum: Lit,
+    /// The carry literal.
+    pub carry: Lit,
+}
+
+/// Statistics from a reduction, including the instantiated blocks.
+#[derive(Debug, Clone, Default)]
+pub struct ReduceStats {
+    /// Full adders instantiated.
+    pub full_adders: usize,
+    /// Half adders instantiated.
+    pub half_adders: usize,
+    /// The recorded FA instances.
+    pub fa_blocks: Vec<FaInstance>,
+    /// The recorded HA instances.
+    pub ha_blocks: Vec<HaInstance>,
+}
+
+impl ReduceStats {
+    fn record_fa(&mut self, inputs: [Lit; 3], sum: Lit, carry: Lit) {
+        self.full_adders += 1;
+        self.fa_blocks.push(FaInstance { inputs, sum, carry });
+    }
+
+    fn record_ha(&mut self, inputs: [Lit; 2], sum: Lit, carry: Lit) {
+        self.half_adders += 1;
+        self.ha_blocks.push(HaInstance { inputs, sum, carry });
+    }
+}
+
+/// Reduces `columns` to two rows (sum, carry-save) and then to a single
+/// row with a final ripple chain; returns the little-endian result bits
+/// truncated/extended to `out_width`.
+pub fn reduce_columns(
+    aig: &mut Aig,
+    columns: Columns,
+    out_width: usize,
+    style: ReduceStyle,
+    stats: &mut ReduceStats,
+) -> Vec<Lit> {
+    let reduced = match style {
+        ReduceStyle::Array => reduce_array(aig, columns, stats),
+        ReduceStyle::Wallace => reduce_wallace(aig, columns, stats),
+    };
+    ripple_sum(aig, reduced, out_width, stats)
+}
+
+/// Row-by-row accumulation. We repeatedly compress each column to at
+/// most two entries before moving to the next weight, mimicking the
+/// diagonal carry flow of an array multiplier.
+fn reduce_array(aig: &mut Aig, mut columns: Columns, stats: &mut ReduceStats) -> Columns {
+    // Keep compressing the lowest column with height > 2.
+    loop {
+        let Some(w) = (0..columns.width()).find(|&w| columns.column(w).len() > 2) else {
+            return columns;
+        };
+        let col = &mut columns.cols[w];
+        // Take three operands (FIFO order keeps the array shape: earlier
+        // rows combine first).
+        let a = col.remove(0);
+        let b = col.remove(0);
+        let c = col.remove(0);
+        let (s, co) = full_adder(aig, a, b, c);
+        stats.record_fa([a, b, c], s, co);
+        columns.cols[w].insert(0, s);
+        columns.push(w + 1, co);
+    }
+}
+
+/// Column-parallel reduction: each pass compresses every column with
+/// FAs (taking 3) and HAs (taking 2 when exactly 3 remain... classic
+/// Dadda would be height-driven; we use the simple Wallace discipline).
+fn reduce_wallace(aig: &mut Aig, mut columns: Columns, stats: &mut ReduceStats) -> Columns {
+    while columns.max_height() > 2 {
+        let mut next = Columns::new();
+        for w in 0..columns.width() {
+            let col = std::mem::take(&mut columns.cols[w]);
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let (s, co) = full_adder(aig, col[i], col[i + 1], col[i + 2]);
+                stats.record_fa([col[i], col[i + 1], col[i + 2]], s, co);
+                next.push(w, s);
+                next.push(w + 1, co);
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                let (s, co) = half_adder(aig, col[i], col[i + 1]);
+                stats.record_ha([col[i], col[i + 1]], s, co);
+                next.push(w, s);
+                next.push(w + 1, co);
+                i += 2;
+            }
+            while i < col.len() {
+                next.push(w, col[i]);
+                i += 1;
+            }
+        }
+        columns = next;
+    }
+    columns
+}
+
+/// Sums columns of height ≤ 2 with a ripple chain of HAs/FAs; returns
+/// `out_width` little-endian bits.
+///
+/// # Panics
+///
+/// Panics if any column has more than two entries.
+pub fn ripple_sum(
+    aig: &mut Aig,
+    columns: Columns,
+    out_width: usize,
+    stats: &mut ReduceStats,
+) -> Vec<Lit> {
+    let mut out = Vec::with_capacity(out_width);
+    let mut carry = Lit::FALSE;
+    for w in 0..out_width {
+        let col = columns.column(w);
+        assert!(col.len() <= 2, "column {w} not reduced: {}", col.len());
+        let bit = match (col.len(), carry) {
+            (0, c) => {
+                carry = Lit::FALSE;
+                c
+            }
+            (1, c) if c == Lit::FALSE => col[0],
+            (1, c) => {
+                let (s, co) = half_adder(aig, col[0], c);
+                stats.record_ha([col[0], c], s, co);
+                carry = co;
+                s
+            }
+            (2, c) if c == Lit::FALSE => {
+                let (s, co) = half_adder(aig, col[0], col[1]);
+                stats.record_ha([col[0], col[1]], s, co);
+                carry = co;
+                s
+            }
+            (2, c) => {
+                let (s, co) = full_adder(aig, col[0], col[1], c);
+                stats.record_fa([col[0], col[1], c], s, co);
+                carry = co;
+                s
+            }
+            _ => unreachable!(),
+        };
+        out.push(bit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_u128;
+
+    fn sum_three(style: ReduceStyle) {
+        // Three 4-bit operands summed via column reduction.
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(4);
+        let b = aig.add_inputs(4);
+        let c = aig.add_inputs(4);
+        let mut cols = Columns::new();
+        cols.push_row(0, &a);
+        cols.push_row(0, &b);
+        cols.push_row(0, &c);
+        let mut stats = ReduceStats::default();
+        let out = reduce_columns(&mut aig, cols, 6, style, &mut stats);
+        for (i, o) in out.iter().enumerate() {
+            aig.add_output(format!("s{i}"), *o);
+        }
+        assert!(stats.full_adders > 0);
+        for (x, y, z) in [(0u128, 0, 0), (15, 15, 15), (7, 9, 3), (8, 8, 1)] {
+            let input = x | (y << 4) | (z << 8);
+            assert_eq!(eval_u128(&aig, input), x + y + z, "{style:?} {x}+{y}+{z}");
+        }
+    }
+
+    #[test]
+    fn array_reduce_sums_correctly() {
+        sum_three(ReduceStyle::Array);
+    }
+
+    #[test]
+    fn wallace_reduce_sums_correctly() {
+        sum_three(ReduceStyle::Wallace);
+    }
+
+    #[test]
+    fn columns_skip_false() {
+        let mut cols = Columns::new();
+        cols.push(3, Lit::FALSE);
+        assert_eq!(cols.width(), 0);
+    }
+}
+
+/// Dadda-style reduction: height-driven column compression that only
+/// places as many FAs/HAs per stage as needed to reach the next Dadda
+/// height (…, 6, 4, 3, 2), minimizing adder count compared to the
+/// eager Wallace discipline.
+pub fn reduce_dadda(aig: &mut Aig, mut columns: Columns, stats: &mut ReduceStats) -> Columns {
+    // Dadda height sequence d_1 = 2, d_{j+1} = floor(1.5 d_j).
+    let mut targets = vec![2usize];
+    while *targets.last().expect("non-empty") < columns.max_height() {
+        let last = *targets.last().expect("non-empty");
+        targets.push(last * 3 / 2);
+    }
+    while columns.max_height() > 2 {
+        let target = *targets
+            .iter()
+            .rev()
+            .find(|&&t| t < columns.max_height())
+            .expect("target exists below current height");
+        let mut next = Columns::new();
+        let mut carries_into: Vec<usize> = vec![0; columns.width() + 2];
+        for w in 0..columns.width() {
+            let col = std::mem::take(&mut columns.cols[w]);
+            let mut remaining = col.len() + carries_into[w];
+            let mut i = 0;
+            // Compress only while the column (plus incoming carries)
+            // exceeds the target height.
+            while remaining > target && col.len() - i >= 3 {
+                let (s, co) = full_adder(aig, col[i], col[i + 1], col[i + 2]);
+                stats.record_fa([col[i], col[i + 1], col[i + 2]], s, co);
+                next.push(w, s);
+                next.push(w + 1, co);
+                carries_into[w + 1] += 1;
+                i += 3;
+                remaining -= 2;
+            }
+            if remaining > target && col.len() - i >= 2 {
+                let (s, co) = half_adder(aig, col[i], col[i + 1]);
+                stats.record_ha([col[i], col[i + 1]], s, co);
+                next.push(w, s);
+                next.push(w + 1, co);
+                carries_into[w + 1] += 1;
+                i += 2;
+                remaining -= 1;
+            }
+            while i < col.len() {
+                next.push(w, col[i]);
+                i += 1;
+            }
+        }
+        columns = next;
+    }
+    columns
+}
+
+#[cfg(test)]
+mod dadda_tests {
+    use super::*;
+    use crate::sim::eval_u128;
+
+    #[test]
+    fn dadda_reduce_sums_correctly() {
+        let mut aig = Aig::new();
+        let a = aig.add_inputs(4);
+        let b = aig.add_inputs(4);
+        let c = aig.add_inputs(4);
+        let d = aig.add_inputs(4);
+        let mut cols = Columns::new();
+        for row in [&a, &b, &c, &d] {
+            cols.push_row(0, row);
+        }
+        let mut stats = ReduceStats::default();
+        let reduced = reduce_dadda(&mut aig, cols, &mut stats);
+        let out = ripple_sum(&mut aig, reduced, 6, &mut stats);
+        for (i, o) in out.iter().enumerate() {
+            aig.add_output(format!("s{i}"), *o);
+        }
+        for (w, x, y, z) in [(0u128, 0, 0, 0), (15, 15, 15, 15), (7, 9, 3, 12)] {
+            let input = w | (x << 4) | (y << 8) | (z << 12);
+            assert_eq!(eval_u128(&aig, input), w + x + y + z);
+        }
+    }
+
+    #[test]
+    fn dadda_uses_fewer_or_equal_adders_than_wallace() {
+        let build = |style: fn(&mut Aig, Columns, &mut ReduceStats) -> Columns| {
+            let mut aig = Aig::new();
+            let a = aig.add_inputs(6);
+            let b = aig.add_inputs(6);
+            let mut cols = Columns::new();
+            for (i, &bi) in b.iter().enumerate() {
+                for (j, &aj) in a.iter().enumerate() {
+                    let pp = aig.and(aj, bi);
+                    cols.push(i + j, pp);
+                }
+            }
+            let mut stats = ReduceStats::default();
+            let reduced = style(&mut aig, cols, &mut stats);
+            let _ = ripple_sum(&mut aig, reduced, 12, &mut stats);
+            stats.full_adders + stats.half_adders
+        };
+        let dadda = build(reduce_dadda);
+        let wallace = build(|aig, cols, stats| reduce_wallace(aig, cols, stats));
+        assert!(dadda <= wallace, "dadda {dadda} vs wallace {wallace}");
+    }
+}

@@ -1,0 +1,43 @@
+//! And-Inverter Graph (AIG) substrate for the BoolE reproduction.
+//!
+//! This crate provides everything the paper assumes from ABC's side:
+//!
+//! * [`Aig`] — a structurally hashed AIG with constant folding,
+//!   AIGER text I/O ([`aiger`]), and 64-way bit-parallel simulation
+//!   ([`sim`]).
+//! * Arithmetic benchmark generators ([`gen`]): unsigned carry-save
+//!   array (CSA) multipliers, signed radix-4 Booth multipliers, and the
+//!   adder building blocks they share.
+//! * K-feasible cut enumeration ([`cut`]), small truth tables ([`tt`]),
+//!   and NPN canonicalization ([`npn`]).
+//! * Structure-destroying logic optimization ([`opt`], the stand-in for
+//!   ABC's `dch`) and cut-based standard-cell technology mapping
+//!   ([`map`], the stand-in for ABC + the ASAP7 library), including
+//!   re-decomposition of mapped netlists back into AIGs.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::gen::{csa_multiplier, pack_operands};
+//! use aig::sim::eval_u128;
+//!
+//! let aig = csa_multiplier(4);
+//! assert_eq!(aig.num_inputs(), 8);
+//! assert_eq!(aig.num_outputs(), 8);
+//! assert_eq!(eval_u128(&aig, pack_operands(4, 7, 9)), 63);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aig;
+pub mod aiger;
+pub mod cut;
+pub mod gen;
+pub mod map;
+pub mod npn;
+pub mod opt;
+pub mod sim;
+pub mod synth;
+pub mod tt;
+
+pub use crate::aig::{Aig, Lit, Node, Var};

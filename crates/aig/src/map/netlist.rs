@@ -1,0 +1,160 @@
+//! The mapped (standard-cell) netlist representation.
+
+use std::collections::HashMap;
+
+use super::library::{CellId, Library};
+
+/// A net in a mapped netlist: either a primary input or a cell output.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Net {
+    /// Primary input by ordinal.
+    Input(u32),
+    /// Output of instance `i`.
+    Cell(u32),
+}
+
+/// A cell instance: a library cell with connected input nets.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The library cell.
+    pub cell: CellId,
+    /// One net per pin, in pin order.
+    pub inputs: Vec<Net>,
+}
+
+/// A technology-mapped netlist over a [`Library`].
+///
+/// Instances are stored in topological order: an instance's input nets
+/// refer only to primary inputs or earlier instances.
+#[derive(Debug, Clone)]
+pub struct MappedNetlist {
+    lib: Library,
+    num_inputs: usize,
+    instances: Vec<Instance>,
+    outputs: Vec<(String, Net)>,
+}
+
+impl MappedNetlist {
+    /// Creates an empty netlist over `lib` with `num_inputs` primary
+    /// inputs.
+    pub fn new(lib: Library, num_inputs: usize) -> Self {
+        Self {
+            lib,
+            num_inputs,
+            instances: vec![],
+            outputs: vec![],
+        }
+    }
+
+    /// The library this netlist is mapped onto.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The cell instances in topological order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The named outputs.
+    pub fn outputs(&self) -> &[(String, Net)] {
+        &self.outputs
+    }
+
+    /// Appends an instance, returning its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin count mismatches the cell arity or an input
+    /// net is out of range.
+    pub fn add_instance(&mut self, cell: CellId, inputs: Vec<Net>) -> Net {
+        assert_eq!(
+            inputs.len(),
+            self.lib.cell(cell).arity,
+            "pin count mismatch for {}",
+            self.lib.cell(cell).name
+        );
+        for net in &inputs {
+            match *net {
+                Net::Input(i) => assert!((i as usize) < self.num_inputs, "input net out of range"),
+                Net::Cell(i) => assert!(
+                    (i as usize) < self.instances.len(),
+                    "cell net out of order (must be topological)"
+                ),
+            }
+        }
+        let id = self.instances.len() as u32;
+        self.instances.push(Instance { cell, inputs });
+        Net::Cell(id)
+    }
+
+    /// Registers a named output.
+    pub fn add_output(&mut self, name: impl Into<String>, net: Net) {
+        self.outputs.push((name.into(), net));
+    }
+
+    /// Total cell area.
+    pub fn area(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(|inst| self.lib.cell(inst.cell).area)
+            .sum()
+    }
+
+    /// Number of instances.
+    pub fn num_cells(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Histogram of cell names to instance counts.
+    pub fn cell_histogram(&self) -> HashMap<String, usize> {
+        let mut hist = HashMap::new();
+        for inst in &self.instances {
+            *hist
+                .entry(self.lib.cell(inst.cell).name.clone())
+                .or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tt::Tt;
+
+    #[test]
+    fn builds_and_reports() {
+        let lib = Library::asap7_like();
+        let and2 = lib.matcher(Tt::and2()).unwrap().cell;
+        let mut nl = MappedNetlist::new(lib, 2);
+        let y = nl.add_instance(and2, vec![Net::Input(0), Net::Input(1)]);
+        nl.add_output("y", y);
+        assert_eq!(nl.num_cells(), 1);
+        assert!(nl.area() > 0.0);
+        assert_eq!(nl.cell_histogram().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pin count mismatch")]
+    fn rejects_wrong_arity() {
+        let lib = Library::asap7_like();
+        let and2 = lib.matcher(Tt::and2()).unwrap().cell;
+        let mut nl = MappedNetlist::new(lib, 2);
+        nl.add_instance(and2, vec![Net::Input(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "topological")]
+    fn rejects_forward_reference() {
+        let lib = Library::asap7_like();
+        let and2 = lib.matcher(Tt::and2()).unwrap().cell;
+        let mut nl = MappedNetlist::new(lib, 2);
+        nl.add_instance(and2, vec![Net::Input(0), Net::Cell(5)]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Re-decomposition of a mapped netlist into an AIG.
+
+use super::netlist::{MappedNetlist, Net};
+use crate::synth::build_sop;
+use crate::{Aig, Lit};
+
+/// Converts a mapped netlist back to an AIG by rebuilding each cell
+/// from its truth table in SOP form.
+///
+/// The resulting structure deliberately differs from the canonical
+/// generator shapes (an XOR2 cell becomes `(a&!b)|(!a&b)` rather than
+/// `(a|b)&!(a&b)`; complex AOI/OAI cells become their two-level
+/// forms). This reproduces "the AIG of the mapped netlist" that the
+/// paper's reasoning tools consume (Figure 1a).
+pub fn unmap(netlist: &MappedNetlist) -> Aig {
+    let mut aig = Aig::new();
+    let inputs = aig.add_inputs(netlist.num_inputs());
+    let mut net_lit: Vec<Lit> = Vec::with_capacity(netlist.instances().len());
+    for inst in netlist.instances() {
+        let cell = netlist.library().cell(inst.cell);
+        let leaf_lits: Vec<Lit> = inst
+            .inputs
+            .iter()
+            .map(|net| resolve(&inputs, &net_lit, *net))
+            .collect();
+        let lit = build_sop(&mut aig, cell.tt, &leaf_lits);
+        net_lit.push(lit);
+    }
+    for (name, net) in netlist.outputs() {
+        let lit = resolve(&inputs, &net_lit, *net);
+        aig.add_output(name.clone(), lit);
+    }
+    aig
+}
+
+fn resolve(inputs: &[Lit], net_lit: &[Lit], net: Net) -> Lit {
+    match net {
+        Net::Input(i) => inputs[i as usize],
+        Net::Cell(i) => net_lit[i as usize],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::library::Library;
+    use super::super::mapper::{map_aig, MapParams};
+    use super::*;
+    use crate::sim::exhaustive_equiv_check;
+
+    #[test]
+    fn unmap_inverts_mapping() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let s = aig.xor3(a, b, c);
+        let co = aig.maj(a, b, c);
+        aig.add_output("s", s);
+        aig.add_output("c", co);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, &MapParams::default());
+        let back = unmap(&nl);
+        assert!(exhaustive_equiv_check(&aig, &back));
+    }
+
+    #[test]
+    fn unmap_handles_constants() {
+        let mut aig = Aig::new();
+        let _a = aig.add_input();
+        aig.add_output("zero", Lit::FALSE);
+        aig.add_output("one", Lit::TRUE);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, &MapParams::default());
+        let back = unmap(&nl);
+        assert!(exhaustive_equiv_check(&aig, &back));
+    }
+}

@@ -1,0 +1,158 @@
+//! NPN (negation–permutation–negation) canonicalization of small truth
+//! tables.
+//!
+//! Two functions are NPN-equivalent if one can be obtained from the
+//! other by negating inputs, permuting inputs, and/or negating the
+//! output. The canonical representative is the lexicographically
+//! smallest truth table in the orbit. For up to 4 variables the orbit
+//! is enumerated exhaustively (4! · 2⁴ · 2 = 768 variants), which is
+//! what ABC's fast NPN matching does for small practical cut sizes.
+
+use crate::tt::Tt;
+
+/// The NPN transform that maps a function to its canonical form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// `perm[i]` = which original variable canonical variable `i` reads.
+    pub perm: Vec<usize>,
+    /// Bit `i` set = original variable `perm[i]` is negated.
+    pub input_neg: u32,
+    /// The output is negated.
+    pub output_neg: bool,
+}
+
+/// A canonical NPN representative plus the transform that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnCanon {
+    /// The canonical truth table.
+    pub tt: Tt,
+    /// The transform from the original function to `tt`.
+    pub transform: NpnTransform,
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            go(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    go(&mut items, 0, &mut out);
+    out
+}
+
+/// Computes the NPN-canonical form of `tt` by exhaustive orbit
+/// enumeration.
+///
+/// # Panics
+///
+/// Panics if `tt` has more than 5 variables (orbit enumeration would be
+/// too slow; BoolE only needs 2- and 3-input cuts).
+pub fn npn_canon(tt: Tt) -> NpnCanon {
+    let n = tt.num_vars();
+    assert!(n <= 5, "npn_canon capped at 5 variables");
+    let mut best: Option<NpnCanon> = None;
+    for perm in permutations(n) {
+        let permuted = tt.permute(&perm);
+        for neg in 0u32..(1 << n) {
+            let mut cand = permuted;
+            for i in 0..n {
+                if (neg >> i) & 1 == 1 {
+                    cand = cand.flip_var(i);
+                }
+            }
+            for out_neg in [false, true] {
+                let final_tt = if out_neg { !cand } else { cand };
+                let better = match &best {
+                    None => true,
+                    Some(b) => final_tt.bits() < b.tt.bits(),
+                };
+                if better {
+                    best = Some(NpnCanon {
+                        tt: final_tt,
+                        transform: NpnTransform {
+                            perm: perm.clone(),
+                            input_neg: neg,
+                            output_neg: out_neg,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    best.expect("orbit is never empty")
+}
+
+/// Returns `true` if two functions are NPN-equivalent.
+pub fn npn_equivalent(a: Tt, b: Tt) -> bool {
+    a.num_vars() == b.num_vars() && npn_canon(a).tt == npn_canon(b).tt
+}
+
+/// The canonical representative of the 3-input XOR NPN class.
+pub fn xor3_npn_class() -> Tt {
+    npn_canon(Tt::xor3()).tt
+}
+
+/// The canonical representative of the 3-input majority NPN class.
+pub fn maj3_npn_class() -> Tt {
+    npn_canon(Tt::maj3()).tt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_is_idempotent() {
+        for f in [Tt::xor3(), Tt::maj3(), Tt::var(3, 1), Tt::zero(3)] {
+            let c = npn_canon(f).tt;
+            assert_eq!(npn_canon(c).tt, c);
+        }
+    }
+
+    #[test]
+    fn npn_class_of_xor_includes_xnor() {
+        assert!(npn_equivalent(Tt::xor3(), !Tt::xor3()));
+        assert!(npn_equivalent(Tt::xor2(), !Tt::xor2()));
+    }
+
+    #[test]
+    fn maj_class_includes_negated_inputs() {
+        // maj(!a, b, c) is NPN-equivalent to maj(a, b, c).
+        let m = Tt::maj3();
+        assert!(npn_equivalent(m, m.flip_var(0)));
+        assert!(npn_equivalent(m, m.flip_var(0).flip_var(2)));
+    }
+
+    #[test]
+    fn xor_and_maj_are_distinct_classes() {
+        assert!(!npn_equivalent(Tt::xor3(), Tt::maj3()));
+        assert!(!npn_equivalent(Tt::and2(), Tt::xor2()));
+    }
+
+    #[test]
+    fn permuted_functions_share_class() {
+        let f = Tt::var(3, 0) & !Tt::var(3, 1) | Tt::var(3, 2);
+        let g = f.permute(&[2, 0, 1]).flip_var(1);
+        assert!(npn_equivalent(f, g));
+        assert!(npn_equivalent(f, !g));
+    }
+
+    #[test]
+    fn orbit_size_sanity() {
+        // All 2^(2^2)=16 two-variable functions fall into exactly 4 NPN
+        // classes: const, single-literal, and2-like, xor2-like.
+        use std::collections::HashSet;
+        let classes: HashSet<u64> = (0..16u64)
+            .map(|bits| npn_canon(Tt::from_bits(2, bits)).tt.bits())
+            .collect();
+        assert_eq!(classes.len(), 4);
+    }
+}

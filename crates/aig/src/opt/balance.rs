@@ -1,0 +1,107 @@
+//! AND-tree balancing.
+
+use crate::{Aig, Lit, Node};
+
+/// Rebuilds the AIG with every maximal AND tree re-associated into a
+/// balanced tree (minimizing depth), like ABC's `balance`.
+///
+/// Conjunct collection stops at complemented edges, multi-fanout nodes,
+/// and primary inputs, so sharing is preserved.
+pub fn balance(aig: &Aig) -> Aig {
+    let fanouts = aig.fanout_counts();
+    let mut new = Aig::new();
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    // Levels of the new AIG, maintained incrementally.
+    let mut lvl: Vec<u32> = vec![0];
+    for &input in aig.inputs() {
+        map[input.index()] = new.add_input();
+        lvl.push(0);
+    }
+    for var in aig.and_vars() {
+        // Collect the conjuncts of the maximal single-fanout AND tree
+        // rooted here, in the *old* graph.
+        let mut conjuncts: Vec<Lit> = Vec::new();
+        collect_conjuncts(aig, var.lit(), &fanouts, true, &mut conjuncts);
+        // Translate to new literals and build balanced, shallow first.
+        let mut lits: Vec<Lit> = conjuncts
+            .iter()
+            .map(|&l| Aig::translate(&map, l))
+            .collect();
+        lits.sort_by_key(|l| lvl[l.var().index()]);
+        let before = new.num_nodes();
+        map[var.index()] = crate::synth::balanced_and(&mut new, &lits);
+        for i in before..new.num_nodes() {
+            if let Node::And(a, b) = new.nodes()[i] {
+                lvl.push(1 + lvl[a.var().index()].max(lvl[b.var().index()]));
+            } else {
+                lvl.push(0);
+            }
+        }
+    }
+    for (name, lit) in aig.outputs() {
+        let l = Aig::translate(&map, *lit);
+        new.add_output(name.clone(), l);
+    }
+    new
+}
+
+fn collect_conjuncts(aig: &Aig, lit: Lit, fanouts: &[u32], is_root: bool, out: &mut Vec<Lit>) {
+    let expandable = !lit.is_complemented()
+        && matches!(aig.node(lit.var()), Node::And(..))
+        && (is_root || fanouts[lit.var().index()] <= 1);
+    if expandable {
+        if let Node::And(a, b) = aig.node(lit.var()) {
+            collect_conjuncts(aig, a, fanouts, false, out);
+            collect_conjuncts(aig, b, fanouts, false, out);
+            return;
+        }
+    }
+    out.push(lit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::exhaustive_equiv_check;
+
+    #[test]
+    fn balances_and_chain() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(8);
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            acc = aig.and(acc, l);
+        }
+        aig.add_output("y", acc);
+        assert_eq!(aig.depth(), 7);
+        let balanced = balance(&aig);
+        assert_eq!(balanced.depth(), 3);
+        assert!(exhaustive_equiv_check(&aig, &balanced));
+    }
+
+    #[test]
+    fn preserves_shared_nodes() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(4);
+        let shared = aig.and(ins[0], ins[1]);
+        let x = aig.and(shared, ins[2]);
+        let y = aig.and(shared, ins[3]);
+        aig.add_output("x", x);
+        aig.add_output("y", y);
+        let balanced = balance(&aig);
+        assert!(exhaustive_equiv_check(&aig, &balanced));
+        // Shared conjunct must not be duplicated into both outputs.
+        assert!(balanced.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn stops_at_complemented_edges() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let o = aig.or(ins[0], ins[1]); // !(!a & !b): complement boundary
+        let y = aig.and(o, ins[2]);
+        aig.add_output("y", y);
+        let balanced = balance(&aig);
+        assert!(exhaustive_equiv_check(&aig, &balanced));
+    }
+}

@@ -1,0 +1,206 @@
+//! Cut-based resynthesis: re-express each node over a K-feasible cut
+//! and rebuild it in a different structural style.
+
+use crate::cut::{enumerate_cuts, Cut, CutParams};
+use crate::synth::{build_shannon, build_sop};
+use crate::tt::Tt;
+use crate::{Aig, Lit, Var};
+
+/// Which structure the resynthesizer rebuilds nodes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResynthStyle {
+    /// Two-level irredundant sum-of-products.
+    Sop,
+    /// Shannon-expansion mux trees.
+    Shannon,
+    /// Alternate between the two per node (maximally heterogeneous).
+    Mixed,
+}
+
+/// Parameters for [`rewrite_cuts`].
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteParams {
+    /// Cut size used for re-expression (bigger cuts cross more block
+    /// boundaries).
+    pub k: usize,
+    /// Rebuild style.
+    pub style: ResynthStyle,
+    /// Growth cap: once the new AIG exceeds `growth_cap ×` the original
+    /// AND count, remaining nodes are copied instead of resynthesized.
+    pub growth_cap: f64,
+}
+
+impl Default for RewriteParams {
+    fn default() -> Self {
+        // ABC's `dch` is a *size-driven* optimizer: it restructures but
+        // does not blow the netlist up, and two-level (SOP) shapes
+        // dominate its output. Shannon mux trees with a loose growth
+        // cap destroy far more than the real tool does.
+        Self {
+            k: 4,
+            style: ResynthStyle::Sop,
+            growth_cap: 1.25,
+        }
+    }
+}
+
+/// Rewrites `aig` by re-expressing every AND node over its widest
+/// K-feasible cut and resynthesizing that function from the cut leaves.
+///
+/// The function is preserved; the gate-level structure is not — in
+/// particular XOR-chain and majority shapes spanning cut boundaries are
+/// merged and rebuilt, which is exactly the effect heavy logic
+/// optimization has on adder trees in the paper's benchmarks.
+pub fn rewrite_cuts(aig: &Aig, params: &RewriteParams) -> Aig {
+    let cuts = enumerate_cuts(
+        aig,
+        &CutParams {
+            k: params.k.clamp(2, Tt::MAX_VARS),
+            max_cuts: 12,
+        },
+    );
+    let budget = (aig.num_ands() as f64 * params.growth_cap) as usize;
+    let mut new = Aig::new();
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for &input in aig.inputs() {
+        map[input.index()] = new.add_input();
+    }
+    for (counter, var) in aig.and_vars().enumerate() {
+        let over_budget = new.num_ands() >= budget;
+        let cut = if over_budget {
+            None
+        } else {
+            choose_cut(&cuts[var.index()], var)
+        };
+        map[var.index()] = match cut {
+            Some(cut) => {
+                let (tt, leaves) = reduce_support(cut.tt, &cut.leaves);
+                let leaf_lits: Vec<Lit> = leaves
+                    .iter()
+                    .map(|l| Aig::translate(&map, l.lit()))
+                    .collect();
+                let style = match params.style {
+                    ResynthStyle::Sop => ResynthStyle::Sop,
+                    ResynthStyle::Shannon => ResynthStyle::Shannon,
+                    ResynthStyle::Mixed => {
+                        if counter % 2 == 0 {
+                            ResynthStyle::Sop
+                        } else {
+                            ResynthStyle::Shannon
+                        }
+                    }
+                };
+                match style {
+                    ResynthStyle::Sop => build_sop(&mut new, tt, &leaf_lits),
+                    _ => build_shannon(&mut new, tt, &leaf_lits),
+                }
+            }
+            None => {
+                // Copy the AND as-is.
+                if let crate::Node::And(a, b) = aig.node(var) {
+                    let fa = Aig::translate(&map, a);
+                    let fb = Aig::translate(&map, b);
+                    new.and(fa, fb)
+                } else {
+                    unreachable!("and_vars yields AND nodes")
+                }
+            }
+        };
+    }
+    for (name, lit) in aig.outputs() {
+        let l = Aig::translate(&map, *lit);
+        new.add_output(name.clone(), l);
+    }
+    new
+}
+
+/// Picks the widest non-trivial cut (ties: deepest leaves are implied
+/// by enumeration order); `None` if only the unit cut exists.
+fn choose_cut<'a>(cuts: &'a [Cut], var: Var) -> Option<&'a Cut> {
+    cuts.iter()
+        .filter(|c| c.leaves != [var] && !c.leaves.is_empty())
+        .max_by_key(|c| c.size())
+}
+
+/// Drops leaves the function does not depend on, compacting the truth
+/// table accordingly.
+fn reduce_support(tt: Tt, leaves: &[Var]) -> (Tt, Vec<Var>) {
+    let mut kept_vars: Vec<usize> = Vec::new();
+    for i in 0..tt.num_vars() {
+        if tt.depends_on(i) {
+            kept_vars.push(i);
+        }
+    }
+    if kept_vars.len() == tt.num_vars() {
+        return (tt, leaves.to_vec());
+    }
+    let n = kept_vars.len();
+    let mut bits = 0u64;
+    for idx in 0..(1usize << n) {
+        // Expand the compact assignment to the original variable set
+        // (dropped variables fixed to 0 — they are don't-cares).
+        let mut full = 0usize;
+        for (new_i, &old_i) in kept_vars.iter().enumerate() {
+            if (idx >> new_i) & 1 == 1 {
+                full |= 1 << old_i;
+            }
+        }
+        if tt.eval(full) {
+            bits |= 1 << idx;
+        }
+    }
+    let new_leaves = kept_vars.iter().map(|&i| leaves[i]).collect();
+    (Tt::from_bits(n, bits), new_leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::csa_multiplier;
+    use crate::sim::{exhaustive_equiv_check, random_equiv_check};
+
+    #[test]
+    fn rewrite_preserves_function_small() {
+        let aig = csa_multiplier(3);
+        for style in [ResynthStyle::Sop, ResynthStyle::Shannon, ResynthStyle::Mixed] {
+            let params = RewriteParams {
+                style,
+                ..RewriteParams::default()
+            };
+            let out = rewrite_cuts(&aig, &params);
+            assert!(exhaustive_equiv_check(&aig, &out), "{style:?}");
+        }
+    }
+
+    #[test]
+    fn rewrite_preserves_function_medium() {
+        let aig = csa_multiplier(8);
+        let out = rewrite_cuts(&aig, &RewriteParams::default());
+        assert!(random_equiv_check(&aig, &out, 8, 99));
+    }
+
+    #[test]
+    fn growth_cap_limits_size() {
+        let aig = csa_multiplier(8);
+        let params = RewriteParams {
+            growth_cap: 1.1,
+            ..RewriteParams::default()
+        };
+        let out = rewrite_cuts(&aig, &params).trim();
+        assert!(
+            (out.num_ands() as f64) < 1.6 * aig.num_ands() as f64,
+            "grew from {} to {}",
+            aig.num_ands(),
+            out.num_ands()
+        );
+    }
+
+    #[test]
+    fn reduce_support_drops_dont_cares() {
+        let tt = Tt::xor2().extend_to(4);
+        let leaves = vec![Var(1), Var(2), Var(3), Var(4)];
+        let (r, l) = reduce_support(tt, &leaves);
+        assert_eq!(r, Tt::xor2());
+        assert_eq!(l, vec![Var(1), Var(2)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Bit-parallel simulation of AIGs.
+//!
+//! Each primary input is assigned a 64-bit word; all 64 "patterns"
+//! are simulated at once. [`simulate_values`] and [`eval_u128`] provide
+//! single-pattern conveniences, and [`random_equiv_check`] /
+//! [`exhaustive_equiv_check`] give fast (respectively complete, for
+//! small input counts) functional equivalence checks between AIGs.
+
+use crate::{Aig, Lit, Node};
+
+/// Simulates `aig` with one 64-bit word per input, returning one word
+/// per output.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != aig.num_inputs()`.
+pub fn simulate_words(aig: &Aig, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(
+        inputs.len(),
+        aig.num_inputs(),
+        "expected {} input words, got {}",
+        aig.num_inputs(),
+        inputs.len()
+    );
+    let values = simulate_node_words(aig, inputs);
+    aig.outputs()
+        .iter()
+        .map(|(_, lit)| lit_value(&values, *lit))
+        .collect()
+}
+
+/// Simulates `aig`, returning the word value of every *node* (indexed
+/// by variable).
+pub fn simulate_node_words(aig: &Aig, inputs: &[u64]) -> Vec<u64> {
+    let mut values = vec![0u64; aig.num_nodes()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        values[i] = match *node {
+            Node::Const => 0,
+            Node::Input(ordinal) => inputs[ordinal as usize],
+            Node::And(a, b) => lit_value(&values, a) & lit_value(&values, b),
+        };
+    }
+    values
+}
+
+fn lit_value(values: &[u64], lit: Lit) -> u64 {
+    let v = values[lit.var().index()];
+    if lit.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+/// Simulates a single Boolean input pattern.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != aig.num_inputs()`.
+pub fn simulate_values(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+    simulate_words(aig, &words)
+        .into_iter()
+        .map(|w| w & 1 == 1)
+        .collect()
+}
+
+/// Evaluates an AIG whose inputs/outputs encode little-endian binary
+/// numbers: the low `aig.num_inputs()` bits of `input_bits` feed the
+/// inputs in order; the outputs are reassembled into a `u128`.
+///
+/// # Panics
+///
+/// Panics if the AIG has more than 128 inputs or outputs.
+pub fn eval_u128(aig: &Aig, input_bits: u128) -> u128 {
+    assert!(aig.num_inputs() <= 128, "too many inputs for eval_u128");
+    assert!(aig.num_outputs() <= 128, "too many outputs for eval_u128");
+    let inputs: Vec<bool> = (0..aig.num_inputs())
+        .map(|i| (input_bits >> i) & 1 == 1)
+        .collect();
+    simulate_values(aig, &inputs)
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u128) << i)
+        .sum()
+}
+
+/// Checks functional equivalence of two AIGs on `rounds * 64` random
+/// patterns using a simple xorshift generator (deterministic given
+/// `seed`). Returns `false` on any mismatch; `true` means "no
+/// counterexample found".
+///
+/// # Panics
+///
+/// Panics if the interfaces (input/output counts) differ.
+pub fn random_equiv_check(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..rounds {
+        let inputs: Vec<u64> = (0..a.num_inputs()).map(|_| next()).collect();
+        if simulate_words(a, &inputs) != simulate_words(b, &inputs) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exhaustively checks functional equivalence of two AIGs.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or there are more than 24 inputs
+/// (2^24 patterns is the sanity cap).
+pub fn exhaustive_equiv_check(a: &Aig, b: &Aig) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let n = a.num_inputs();
+    assert!(n <= 24, "exhaustive check capped at 24 inputs");
+    // Batch 64 patterns per word: input i < 6 gets its tt pattern,
+    // higher inputs get constants per batch.
+    let low = n.min(6);
+    let patterns: Vec<u64> = (0..low).map(tt_var_word).collect();
+    let high = n - low;
+    for assignment in 0u64..(1 << high) {
+        let mut inputs = patterns.clone();
+        for i in 0..high {
+            inputs.push(if (assignment >> i) & 1 == 1 { !0 } else { 0 });
+        }
+        let mask = if low == 6 { !0u64 } else { (1u64 << (1 << low)) - 1 };
+        let oa = simulate_words(a, &inputs);
+        let ob = simulate_words(b, &inputs);
+        if oa
+            .iter()
+            .zip(&ob)
+            .any(|(x, y)| (x ^ y) & mask != 0)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// The simulation word in which input `i` (for `i < 6`) takes its
+/// truth-table pattern (0101…, 0011…, …).
+pub fn tt_var_word(i: usize) -> u64 {
+    const PATTERNS: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    PATTERNS[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.xor(a, b);
+        aig.add_output("y", x);
+        aig
+    }
+
+    #[test]
+    fn simulate_xor() {
+        let aig = xor_aig();
+        assert_eq!(simulate_values(&aig, &[false, false]), vec![false]);
+        assert_eq!(simulate_values(&aig, &[true, false]), vec![true]);
+        assert_eq!(simulate_values(&aig, &[false, true]), vec![true]);
+        assert_eq!(simulate_values(&aig, &[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn simulate_words_parallel() {
+        let aig = xor_aig();
+        let out = simulate_words(&aig, &[0b0101, 0b0011]);
+        assert_eq!(out[0] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn equivalence_checks_agree() {
+        // xor two ways: (a|b)&!(a&b) vs (a&!b)|(!a&b)
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let t1 = b.and(x, !y);
+        let t2 = b.and(!x, y);
+        let o = b.or(t1, t2);
+        b.add_output("y", o);
+        assert!(random_equiv_check(&a, &b, 4, 42));
+        assert!(exhaustive_equiv_check(&a, &b));
+    }
+
+    #[test]
+    fn equivalence_detects_difference() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let o = b.or(x, y);
+        b.add_output("y", o);
+        assert!(!exhaustive_equiv_check(&a, &b));
+        assert!(!random_equiv_check(&a, &b, 4, 7));
+    }
+
+    #[test]
+    fn eval_u128_binary_convention() {
+        // 2-bit adder by hand: s0 = a0^b0, c = a0&b0, s1 = a1^b1^c ...
+        let mut aig = Aig::new();
+        let a0 = aig.add_input();
+        let a1 = aig.add_input();
+        let b0 = aig.add_input();
+        let b1 = aig.add_input();
+        let s0 = aig.xor(a0, b0);
+        let c0 = aig.and(a0, b0);
+        let s1 = aig.xor3(a1, b1, c0);
+        let c1 = aig.maj(a1, b1, c0);
+        aig.add_output("s0", s0);
+        aig.add_output("s1", s1);
+        aig.add_output("s2", c1);
+        for a in 0u128..4 {
+            for b in 0u128..4 {
+                let input = a | (b << 2);
+                assert_eq!(eval_u128(&aig, input), a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_handles_more_than_six_inputs() {
+        // 8-input AND two ways.
+        let mut a = Aig::new();
+        let ins = a.add_inputs(8);
+        let all = a.and_all(ins.iter().copied());
+        a.add_output("y", all);
+        let mut b = Aig::new();
+        let ins_b = b.add_inputs(8);
+        let mut acc = Lit::TRUE;
+        for l in ins_b.iter().rev() {
+            acc = b.and(*l, acc);
+        }
+        b.add_output("y", acc);
+        assert!(exhaustive_equiv_check(&a, &b));
+    }
+}

@@ -1,0 +1,303 @@
+//! Resynthesis of small truth tables into AIG structure.
+//!
+//! Two structurally different generators are provided:
+//!
+//! * [`build_sop`] — irredundant sum-of-products via the
+//!   Minato–Morreale ISOP recursion, yielding two-level AND–OR shapes.
+//! * [`build_shannon`] — recursive Shannon expansion, yielding
+//!   mux-tree shapes.
+//!
+//! Both are used by the optimizer ([`crate::opt`]) and the unmapper
+//! ([`crate::map`]) to rebuild logic in forms that deliberately differ
+//! from the generator's canonical XOR/MAJ shapes — reproducing the
+//! structure loss that technology mapping and `dch` optimization cause
+//! in the paper's benchmarks.
+
+use crate::tt::Tt;
+use crate::{Aig, Lit};
+
+/// A product term: positive and negative literal masks over the
+/// function's variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cube {
+    /// Bit `i` set: variable `i` appears positively.
+    pub pos: u32,
+    /// Bit `i` set: variable `i` appears negatively.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The cube's characteristic function over `vars` variables.
+    pub fn tt(&self, vars: usize) -> Tt {
+        let mut t = Tt::one(vars);
+        for i in 0..vars {
+            if (self.pos >> i) & 1 == 1 {
+                t = t & Tt::var(vars, i);
+            }
+            if (self.neg >> i) & 1 == 1 {
+                t = t & !Tt::var(vars, i);
+            }
+        }
+        t
+    }
+
+    /// Number of literals in the cube.
+    pub fn num_literals(&self) -> u32 {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+}
+
+/// Computes an irredundant sum-of-products cover of `tt`
+/// (Minato–Morreale ISOP with lower bound = upper bound = `tt`).
+pub fn isop(tt: Tt) -> Vec<Cube> {
+    let mut cubes = Vec::new();
+    isop_rec(tt, tt, tt.num_vars(), &mut cubes);
+    cubes
+}
+
+/// The ISOP recursion: cover at least `lower`, staying within `upper`.
+/// Returns the cover's characteristic function.
+fn isop_rec(lower: Tt, upper: Tt, top: usize, out: &mut Vec<Cube>) -> Tt {
+    let vars = lower.num_vars();
+    if lower.bits() == 0 {
+        return Tt::zero(vars);
+    }
+    if upper == Tt::one(vars) {
+        out.push(Cube { pos: 0, neg: 0 });
+        return Tt::one(vars);
+    }
+    // Find the topmost variable either side depends on.
+    let x = (0..top)
+        .rev()
+        .find(|&i| lower.depends_on(i) || upper.depends_on(i))
+        .expect("non-constant function must have support");
+
+    let l0 = lower.cofactor(x, false);
+    let l1 = lower.cofactor(x, true);
+    let u0 = upper.cofactor(x, false);
+    let u1 = upper.cofactor(x, true);
+
+    // Cubes that must contain !x / x.
+    let start0 = out.len();
+    let cov0 = isop_rec(l0 & !u1, u0, x, out);
+    for cube in &mut out[start0..] {
+        cube.neg |= 1 << x;
+    }
+    let start1 = out.len();
+    let cov1 = isop_rec(l1 & !u0, u1, x, out);
+    for cube in &mut out[start1..] {
+        cube.pos |= 1 << x;
+    }
+
+    // Remainder, covered without using x.
+    let lnew = (l0 & !cov0) | (l1 & !cov1);
+    let cov_star = isop_rec(lnew, u0 & u1, x, out);
+
+    let xvar = Tt::var(vars, x);
+    (cov0 & !xvar) | (cov1 & xvar) | cov_star
+}
+
+/// Builds `tt` over `leaves` as a two-level AND–OR (SOP) structure.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != tt.num_vars()`.
+pub fn build_sop(aig: &mut Aig, tt: Tt, leaves: &[Lit]) -> Lit {
+    assert_eq!(leaves.len(), tt.num_vars(), "leaf count mismatch");
+    if tt.bits() == 0 {
+        return Lit::FALSE;
+    }
+    if tt == Tt::one(tt.num_vars()) {
+        return Lit::TRUE;
+    }
+    // Prefer the cheaper polarity: SOP of f or of !f with an inverter.
+    let cover_pos = isop(tt);
+    let cover_neg = isop(!tt);
+    let lits_of = |c: &[Cube]| c.iter().map(|q| q.num_literals()).sum::<u32>() + c.len() as u32;
+    if lits_of(&cover_neg) < lits_of(&cover_pos) {
+        !build_cover(aig, &cover_neg, leaves)
+    } else {
+        build_cover(aig, &cover_pos, leaves)
+    }
+}
+
+fn build_cover(aig: &mut Aig, cover: &[Cube], leaves: &[Lit]) -> Lit {
+    let mut terms = Vec::with_capacity(cover.len());
+    for cube in cover {
+        let mut lits = Vec::new();
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if (cube.pos >> i) & 1 == 1 {
+                lits.push(leaf);
+            }
+            if (cube.neg >> i) & 1 == 1 {
+                lits.push(!leaf);
+            }
+        }
+        terms.push(balanced_and(aig, &lits));
+    }
+    balanced_or(aig, &terms)
+}
+
+/// Builds `tt` over `leaves` as a Shannon mux tree.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != tt.num_vars()`.
+pub fn build_shannon(aig: &mut Aig, tt: Tt, leaves: &[Lit]) -> Lit {
+    assert_eq!(leaves.len(), tt.num_vars(), "leaf count mismatch");
+    shannon_rec(aig, tt, leaves, tt.num_vars())
+}
+
+fn shannon_rec(aig: &mut Aig, tt: Tt, leaves: &[Lit], top: usize) -> Lit {
+    let vars = tt.num_vars();
+    if tt.bits() == 0 {
+        return Lit::FALSE;
+    }
+    if tt == Tt::one(vars) {
+        return Lit::TRUE;
+    }
+    // Literal short-circuits.
+    for i in 0..top {
+        if tt == Tt::var(vars, i) {
+            return leaves[i];
+        }
+        if tt == !Tt::var(vars, i) {
+            return !leaves[i];
+        }
+    }
+    let x = (0..top)
+        .rev()
+        .find(|&i| tt.depends_on(i))
+        .expect("non-constant function must have support");
+    let f1 = shannon_rec(aig, tt.cofactor(x, true), leaves, x);
+    let f0 = shannon_rec(aig, tt.cofactor(x, false), leaves, x);
+    aig.mux(leaves[x], f1, f0)
+}
+
+/// AND of `lits` built as a balanced tree (true for empty input).
+pub fn balanced_and(aig: &mut Aig, lits: &[Lit]) -> Lit {
+    match lits.len() {
+        0 => Lit::TRUE,
+        1 => lits[0],
+        n => {
+            let (lo, hi) = lits.split_at(n / 2);
+            let a = balanced_and(aig, lo);
+            let b = balanced_and(aig, hi);
+            aig.and(a, b)
+        }
+    }
+}
+
+/// OR of `lits` built as a balanced tree (false for empty input).
+pub fn balanced_or(aig: &mut Aig, lits: &[Lit]) -> Lit {
+    match lits.len() {
+        0 => Lit::FALSE,
+        1 => lits[0],
+        n => {
+            let (lo, hi) = lits.split_at(n / 2);
+            let a = balanced_or(aig, lo);
+            let b = balanced_or(aig, hi);
+            aig.or(a, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_tt(cover: &[Cube], vars: usize) -> Tt {
+        cover
+            .iter()
+            .fold(Tt::zero(vars), |acc, c| acc | c.tt(vars))
+    }
+
+    #[test]
+    fn isop_covers_exactly() {
+        for vars in 1..=4usize {
+            let cases: Vec<u64> = match vars {
+                1 => (0..4).collect(),
+                2 => (0..16).collect(),
+                3 => (0..256).collect(),
+                _ => (0..=u16::MAX as u64).step_by(257).collect(),
+            };
+            for bits in cases {
+                let tt = Tt::from_bits(vars, bits);
+                let cover = isop(tt);
+                assert_eq!(cover_tt(&cover, vars), tt, "tt={bits:#x} vars={vars}");
+            }
+        }
+    }
+
+    #[test]
+    fn isop_is_irredundant_for_xor3() {
+        let cover = isop(Tt::xor3());
+        assert_eq!(cover.len(), 4);
+        assert!(cover.iter().all(|c| c.num_literals() == 3));
+    }
+
+    #[test]
+    fn isop_maj_is_three_cubes() {
+        let cover = isop(Tt::maj3());
+        assert_eq!(cover.len(), 3);
+        assert!(cover.iter().all(|c| c.num_literals() == 2));
+    }
+
+    fn check_builder(build: impl Fn(&mut Aig, Tt, &[Lit]) -> Lit) {
+        for vars in 1..=4usize {
+            let step = if vars == 4 { 41 } else { 1 };
+            let max = 1u64 << (1 << vars);
+            let mut bits = 0;
+            while bits < max {
+                let tt = Tt::from_bits(vars, bits);
+                let mut aig = Aig::new();
+                let leaves = aig.add_inputs(vars);
+                let out = build(&mut aig, tt, &leaves);
+                aig.add_output("f", out);
+                for idx in 0..(1usize << vars) {
+                    let inputs: Vec<bool> = (0..vars).map(|i| (idx >> i) & 1 == 1).collect();
+                    let val = crate::sim::simulate_values(&aig, &inputs)[0];
+                    assert_eq!(val, tt.eval(idx), "tt={bits:#x} vars={vars} idx={idx}");
+                }
+                bits += step;
+            }
+        }
+    }
+
+    #[test]
+    fn build_sop_is_correct() {
+        check_builder(build_sop);
+    }
+
+    #[test]
+    fn build_shannon_is_correct() {
+        check_builder(build_shannon);
+    }
+
+    #[test]
+    fn builders_produce_different_shapes() {
+        // Same function, different structure (node counts differ for
+        // xor3 between SOP and the generator's xor-chain).
+        let mut sop = Aig::new();
+        let leaves = sop.add_inputs(3);
+        let f = build_sop(&mut sop, Tt::xor3(), &leaves);
+        sop.add_output("f", f);
+
+        let mut chain = Aig::new();
+        let l = chain.add_inputs(3);
+        let g = chain.xor3(l[0], l[1], l[2]);
+        chain.add_output("f", g);
+
+        assert!(crate::sim::exhaustive_equiv_check(&sop, &chain));
+        assert_ne!(sop.num_ands(), chain.num_ands());
+    }
+
+    #[test]
+    fn balanced_trees() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(7);
+        let a = balanced_and(&mut aig, &ins);
+        aig.add_output("a", a);
+        assert_eq!(aig.depth(), 3);
+    }
+}

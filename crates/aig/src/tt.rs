@@ -1,0 +1,357 @@
+//! Small truth tables over up to 6 variables, packed in a `u64`.
+//!
+//! Bit `i` of the word is the function value on the input assignment
+//! whose binary encoding is `i` (variable 0 is the least significant).
+
+use std::fmt;
+
+/// A truth table over `vars` variables (`vars <= 6`), stored in the low
+/// `2^vars` bits of a `u64`.
+///
+/// ```
+/// use aig::tt::Tt;
+/// let a = Tt::var(3, 0);
+/// let b = Tt::var(3, 1);
+/// let c = Tt::var(3, 2);
+/// let maj = (a & b) | (a & c) | (b & c);
+/// assert_eq!(maj, Tt::maj3());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tt {
+    vars: u8,
+    bits: u64,
+}
+
+impl Tt {
+    /// Maximum supported variable count.
+    pub const MAX_VARS: usize = 6;
+
+    /// The constant-false table over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 6`.
+    pub fn zero(vars: usize) -> Tt {
+        assert!(vars <= Self::MAX_VARS, "truth table capped at 6 vars");
+        Tt {
+            vars: vars as u8,
+            bits: 0,
+        }
+    }
+
+    /// The constant-true table over `vars` variables.
+    pub fn one(vars: usize) -> Tt {
+        !Tt::zero(vars)
+    }
+
+    /// The projection of variable `i` over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= vars` or `vars > 6`.
+    pub fn var(vars: usize, i: usize) -> Tt {
+        assert!(i < vars, "variable index {i} out of range for {vars} vars");
+        Tt {
+            bits: crate::sim::tt_var_word(i) & Tt::mask(vars),
+            vars: vars as u8,
+        }
+    }
+
+    /// Builds a table from raw bits.
+    pub fn from_bits(vars: usize, bits: u64) -> Tt {
+        assert!(vars <= Self::MAX_VARS, "truth table capped at 6 vars");
+        Tt {
+            vars: vars as u8,
+            bits: bits & Tt::mask(vars),
+        }
+    }
+
+    fn mask(vars: usize) -> u64 {
+        if vars >= 6 {
+            !0
+        } else {
+            (1u64 << (1usize << vars)) - 1
+        }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars as usize
+    }
+
+    /// The raw bits (masked to `2^vars`).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates the function on the assignment encoded by `index`.
+    pub fn eval(&self, index: usize) -> bool {
+        debug_assert!(index < (1 << self.vars));
+        (self.bits >> index) & 1 == 1
+    }
+
+    /// Returns `true` if the function is constant.
+    pub fn is_const(&self) -> bool {
+        self.bits == 0 || self.bits == Tt::mask(self.num_vars())
+    }
+
+    /// Returns `true` if the function actually depends on variable `i`.
+    pub fn depends_on(&self, i: usize) -> bool {
+        let pos = self.cofactor(i, true);
+        let neg = self.cofactor(i, false);
+        pos != neg
+    }
+
+    /// The cofactor with variable `i` fixed to `value` (still expressed
+    /// over the same variable set).
+    pub fn cofactor(&self, i: usize, value: bool) -> Tt {
+        let vmask = crate::sim::tt_var_word(i);
+        let shift = 1u32 << i;
+        let bits = if value {
+            let hi = self.bits & vmask;
+            hi | (hi >> shift)
+        } else {
+            let lo = self.bits & !vmask;
+            lo | (lo << shift)
+        };
+        Tt {
+            vars: self.vars,
+            bits: bits & Tt::mask(self.num_vars()),
+        }
+    }
+
+    /// Swaps variables `i` and `j`.
+    pub fn swap_vars(&self, i: usize, j: usize) -> Tt {
+        if i == j {
+            return *self;
+        }
+        let mut out = 0u64;
+        let n = 1usize << self.vars;
+        for idx in 0..n {
+            if self.eval(idx) {
+                let bi = (idx >> i) & 1;
+                let bj = (idx >> j) & 1;
+                let swapped = (idx & !((1 << i) | (1 << j))) | (bj << i) | (bi << j);
+                out |= 1 << swapped;
+            }
+        }
+        Tt {
+            vars: self.vars,
+            bits: out,
+        }
+    }
+
+    /// Flips (negates) variable `i`.
+    pub fn flip_var(&self, i: usize) -> Tt {
+        let vmask = crate::sim::tt_var_word(i) & Tt::mask(self.num_vars());
+        let shift = 1u32 << i;
+        let hi = self.bits & vmask;
+        let lo = self.bits & !vmask;
+        Tt {
+            vars: self.vars,
+            bits: (hi >> shift) | (lo << shift),
+        }
+    }
+
+    /// Applies an input permutation: variable `i` of the result reads
+    /// the original variable `perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> Tt {
+        assert_eq!(perm.len(), self.num_vars(), "permutation arity mismatch");
+        let mut out = 0u64;
+        let n = 1usize << self.vars;
+        for idx in 0..n {
+            // Build the original assignment this result index reads.
+            let mut orig = 0usize;
+            for (new_var, &old_var) in perm.iter().enumerate() {
+                if (idx >> new_var) & 1 == 1 {
+                    orig |= 1 << old_var;
+                }
+            }
+            if self.eval(orig) {
+                out |= 1 << idx;
+            }
+        }
+        Tt {
+            vars: self.vars,
+            bits: out,
+        }
+    }
+
+    /// Extends the table to `vars` variables (new variables are
+    /// don't-cares appended at the top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is smaller than the current count or above 6.
+    pub fn extend_to(&self, vars: usize) -> Tt {
+        assert!(vars >= self.num_vars() && vars <= Self::MAX_VARS);
+        let mut bits = self.bits;
+        let mut cur = self.num_vars();
+        while cur < vars {
+            bits |= bits << (1u32 << cur);
+            cur += 1;
+        }
+        Tt {
+            vars: vars as u8,
+            bits: bits & Tt::mask(vars),
+        }
+    }
+
+    /// The 3-input XOR table.
+    pub fn xor3() -> Tt {
+        let a = Tt::var(3, 0);
+        let b = Tt::var(3, 1);
+        let c = Tt::var(3, 2);
+        a ^ b ^ c
+    }
+
+    /// The 3-input majority table.
+    pub fn maj3() -> Tt {
+        let a = Tt::var(3, 0);
+        let b = Tt::var(3, 1);
+        let c = Tt::var(3, 2);
+        (a & b) | (a & c) | (b & c)
+    }
+
+    /// The 2-input XOR table.
+    pub fn xor2() -> Tt {
+        Tt::var(2, 0) ^ Tt::var(2, 1)
+    }
+
+    /// The 2-input AND table.
+    pub fn and2() -> Tt {
+        Tt::var(2, 0) & Tt::var(2, 1)
+    }
+}
+
+macro_rules! impl_tt_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for Tt {
+            type Output = Tt;
+            fn $method(self, rhs: Tt) -> Tt {
+                assert_eq!(self.vars, rhs.vars, "truth table arity mismatch");
+                Tt {
+                    vars: self.vars,
+                    bits: (self.bits $op rhs.bits) & Tt::mask(self.num_vars()),
+                }
+            }
+        }
+    };
+}
+
+impl_tt_binop!(BitAnd, bitand, &);
+impl_tt_binop!(BitOr, bitor, |);
+impl_tt_binop!(BitXor, bitxor, ^);
+
+impl std::ops::Not for Tt {
+    type Output = Tt;
+    fn not(self) -> Tt {
+        Tt {
+            vars: self.vars,
+            bits: !self.bits & Tt::mask(self.num_vars()),
+        }
+    }
+}
+
+impl fmt::Debug for Tt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tt({}v, {:#x})", self.vars, self.bits)
+    }
+}
+
+impl fmt::Display for Tt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = 1usize << self.vars;
+        for i in (0..n).rev() {
+            write!(f, "{}", u8::from(self.eval(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_projections() {
+        let a = Tt::var(2, 0);
+        let b = Tt::var(2, 1);
+        assert_eq!(a.bits(), 0b1010);
+        assert_eq!(b.bits(), 0b1100);
+        assert_eq!((a & b).bits(), 0b1000);
+        assert_eq!((a | b).bits(), 0b1110);
+        assert_eq!((a ^ b).bits(), 0b0110);
+        assert_eq!((!a).bits(), 0b0101);
+    }
+
+    #[test]
+    fn xor3_maj3_values() {
+        let x = Tt::xor3();
+        let m = Tt::maj3();
+        for idx in 0..8 {
+            let bits = (idx & 1) + ((idx >> 1) & 1) + ((idx >> 2) & 1);
+            assert_eq!(x.eval(idx), bits % 2 == 1, "xor3 at {idx}");
+            assert_eq!(m.eval(idx), bits >= 2, "maj3 at {idx}");
+        }
+    }
+
+    #[test]
+    fn cofactors() {
+        let m = Tt::maj3();
+        // maj(1,b,c) = b | c ; maj(0,b,c) = b & c
+        let pos = m.cofactor(0, true);
+        let neg = m.cofactor(0, false);
+        let b = Tt::var(3, 1);
+        let c = Tt::var(3, 2);
+        assert_eq!(pos, b | c);
+        assert_eq!(neg, b & c);
+    }
+
+    #[test]
+    fn swap_and_flip() {
+        let a = Tt::var(3, 0);
+        let b = Tt::var(3, 1);
+        let f = a & !b;
+        assert_eq!(f.swap_vars(0, 1), b & !a);
+        assert_eq!(f.flip_var(1), a & b);
+        assert_eq!(f.swap_vars(0, 0), f);
+        // symmetric functions are invariant under swap
+        assert_eq!(Tt::maj3().swap_vars(0, 2), Tt::maj3());
+        assert_eq!(Tt::xor3().swap_vars(1, 2), Tt::xor3());
+    }
+
+    #[test]
+    fn permute_matches_swaps() {
+        let f = Tt::var(3, 0) & !Tt::var(3, 1) | Tt::var(3, 2);
+        // identity
+        assert_eq!(f.permute(&[0, 1, 2]), f);
+        // swapping 0,1 via permutation equals swap_vars
+        assert_eq!(f.permute(&[1, 0, 2]), f.swap_vars(0, 1));
+        // rotation
+        let rot = f.permute(&[1, 2, 0]);
+        let back = rot.permute(&[2, 0, 1]);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn extend_keeps_function() {
+        let x = Tt::xor2().extend_to(4);
+        for idx in 0..16 {
+            let a = idx & 1 == 1;
+            let b = (idx >> 1) & 1 == 1;
+            assert_eq!(x.eval(idx), a ^ b);
+        }
+        assert!(!x.depends_on(2));
+        assert!(!x.depends_on(3));
+        assert!(x.depends_on(0));
+    }
+
+    #[test]
+    fn depends_and_const() {
+        assert!(Tt::zero(3).is_const());
+        assert!(Tt::one(3).is_const());
+        assert!(!Tt::maj3().is_const());
+        assert!(Tt::maj3().depends_on(0));
+    }
+}

@@ -1,0 +1,249 @@
+//! ABC `&atree`-style adder-tree extraction: cut enumeration + NPN
+//! classification + XOR/MAJ pairing.
+
+use std::collections::HashMap;
+
+use aig::cut::{enumerate_cuts, CutParams};
+use aig::npn::npn_canon;
+use aig::tt::Tt;
+use aig::{Aig, Var};
+
+use crate::blocks::{BlockReport, FaBlock, HaBlock};
+
+/// Classification of a (node, cut) candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Exact XOR3 (`tt ∈ {xor3, !xor3}`; the polarity is recorded).
+    SumExact { neg: bool },
+    /// NPN-equivalent to XOR3 but not exact — cannot happen for XOR3
+    /// (its NPN orbit is `{xor3, !xor3}`), kept for uniformity.
+    SumNpn,
+    /// Exact MAJ (`tt ∈ {maj3, !maj3}`).
+    CarryExact { neg: bool },
+    /// NPN-equivalent to MAJ only (e.g. majority of negated inputs).
+    CarryNpn,
+}
+
+/// Detects half- and full-adder blocks with 3-feasible cut enumeration,
+/// exactly in the spirit of ABC's `&atree` (structural hashing +
+/// functional matching of cuts).
+///
+/// A full adder is reported for a leaf triple whenever an XOR3-class
+/// signal and a MAJ-class signal exist over the same leaves; the block
+/// is *exact* when both signals equal XOR3/MAJ up to edge polarity.
+pub fn detect_blocks_atree(aig: &Aig) -> BlockReport {
+    let cuts = enumerate_cuts(
+        aig,
+        &CutParams {
+            k: 3,
+            max_cuts: 48,
+        },
+    );
+
+    let xor3_class = npn_canon(Tt::xor3()).tt;
+    let maj3_class = npn_canon(Tt::maj3()).tt;
+    let xor2 = Tt::xor2();
+    let and2 = Tt::and2();
+    let and2_class = npn_canon(and2).tt;
+
+    // triple -> (sum candidates, carry candidates)
+    #[allow(clippy::type_complexity)]
+    let mut fa_cand: HashMap<[Var; 3], (Vec<(Var, Role)>, Vec<(Var, Role)>)> = HashMap::new();
+    // pair -> (sum candidates, carry candidates) for half adders
+    #[allow(clippy::type_complexity)]
+    let mut ha_cand: HashMap<[Var; 2], (Vec<(Var, bool, bool)>, Vec<(Var, bool, bool)>)> =
+        HashMap::new();
+
+    for var in aig.and_vars() {
+        for cut in &cuts[var.index()] {
+            match cut.size() {
+                3 => {
+                    if cut.leaves.contains(&var) {
+                        continue;
+                    }
+                    let leaves = [cut.leaves[0], cut.leaves[1], cut.leaves[2]];
+                    let tt = cut.tt;
+                    let role = if tt == Tt::xor3() {
+                        Some(Role::SumExact { neg: false })
+                    } else if tt == !Tt::xor3() {
+                        Some(Role::SumExact { neg: true })
+                    } else if tt == Tt::maj3() {
+                        Some(Role::CarryExact { neg: false })
+                    } else if tt == !Tt::maj3() {
+                        Some(Role::CarryExact { neg: true })
+                    } else {
+                        let canon = npn_canon(tt).tt;
+                        if canon == xor3_class {
+                            Some(Role::SumNpn)
+                        } else if canon == maj3_class {
+                            Some(Role::CarryNpn)
+                        } else {
+                            None
+                        }
+                    };
+                    match role {
+                        Some(r @ (Role::SumExact { .. } | Role::SumNpn)) => {
+                            fa_cand.entry(leaves).or_default().0.push((var, r));
+                        }
+                        Some(r @ (Role::CarryExact { .. } | Role::CarryNpn)) => {
+                            fa_cand.entry(leaves).or_default().1.push((var, r));
+                        }
+                        None => {}
+                    }
+                }
+                2 => {
+                    if cut.leaves.contains(&var) {
+                        continue;
+                    }
+                    let leaves = [cut.leaves[0], cut.leaves[1]];
+                    let tt = cut.tt;
+                    if tt == xor2 {
+                        ha_cand.entry(leaves).or_default().0.push((var, false, true));
+                    } else if tt == !xor2 {
+                        ha_cand.entry(leaves).or_default().0.push((var, true, true));
+                    } else if tt == and2 {
+                        ha_cand.entry(leaves).or_default().1.push((var, false, true));
+                    } else if tt == !and2 {
+                        ha_cand.entry(leaves).or_default().1.push((var, true, true));
+                    } else if npn_canon(tt).tt == and2_class {
+                        // e.g. a & !b — NPN carry candidate only.
+                        ha_cand.entry(leaves).or_default().1.push((var, false, false));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut report = BlockReport::default();
+    for (leaves, (mut sums, mut carries)) in fa_cand {
+        sums.sort_by_key(|(v, _)| *v);
+        sums.dedup_by_key(|(v, _)| *v);
+        carries.sort_by_key(|(v, _)| *v);
+        carries.dedup_by_key(|(v, _)| *v);
+        // Pair exact with exact first to maximize the exact count.
+        let exact_first = |cands: &mut Vec<(Var, Role)>| {
+            cands.sort_by_key(|(v, r)| {
+                (
+                    match r {
+                        Role::SumExact { .. } | Role::CarryExact { .. } => 0u8,
+                        _ => 1,
+                    },
+                    *v,
+                )
+            });
+        };
+        exact_first(&mut sums);
+        exact_first(&mut carries);
+        for ((sum, s_role), (carry, c_role)) in sums.iter().zip(carries.iter()) {
+            let (sum_neg, s_exact) = match s_role {
+                Role::SumExact { neg } => (*neg, true),
+                _ => (false, false),
+            };
+            let (carry_neg, c_exact) = match c_role {
+                Role::CarryExact { neg } => (*neg, true),
+                _ => (false, false),
+            };
+            report.fas.push(FaBlock {
+                leaves,
+                sum: *sum,
+                sum_neg,
+                carry: *carry,
+                carry_neg,
+                exact: s_exact && c_exact,
+            });
+        }
+    }
+    for (leaves, (mut sums, mut carries)) in ha_cand {
+        sums.sort_by_key(|(v, ..)| *v);
+        sums.dedup_by_key(|(v, ..)| *v);
+        carries.sort_by_key(|(v, ..)| *v);
+        carries.dedup_by_key(|(v, ..)| *v);
+        carries.sort_by_key(|(v, _, exact)| (!exact, *v));
+        for ((sum, sum_neg, s_exact), (carry, carry_neg, c_exact)) in sums.iter().zip(&carries) {
+            report.has.push(HaBlock {
+                leaves,
+                sum: *sum,
+                sum_neg: *sum_neg,
+                carry: *carry,
+                carry_neg: *carry_neg,
+                exact: *s_exact && *c_exact,
+            });
+        }
+    }
+    // Deterministic order for downstream consumers.
+    report.fas.sort_by_key(|b| (b.leaves, b.sum, b.carry));
+    report.has.sort_by_key(|b| (b.leaves, b.sum, b.carry));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::{csa_fa_upper_bound, csa_multiplier, full_adder};
+
+    #[test]
+    fn finds_single_full_adder() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let (s, co) = full_adder(&mut aig, a, b, c);
+        aig.add_output("s", s);
+        aig.add_output("c", co);
+        let report = detect_blocks_atree(&aig);
+        assert_eq!(report.npn_fa_count(), 1);
+        assert_eq!(report.exact_fa_count(), 1);
+        let block = &report.fas[0];
+        assert_eq!(block.leaves, [a.var(), b.var(), c.var()]);
+    }
+
+    #[test]
+    fn pre_mapping_csa_hits_npn_upper_bound() {
+        // RQ1: on pre-mapping netlists cut enumeration finds all NPN
+        // FAs (the paper's Fig. 4 upper bound is about NPN FAs).
+        for n in [3usize, 4, 6, 8] {
+            let aig = csa_multiplier(n);
+            let report = detect_blocks_atree(&aig);
+            assert_eq!(
+                report.npn_fa_count(),
+                csa_fa_upper_bound(n),
+                "NPN FAs for n={n}"
+            );
+            // Strict-polarity exact matching finds fewer blocks than
+            // NPN (carry-in literals arrive complemented) — the same
+            // exact < NPN gap ABC exhibits in the paper.
+            assert!(report.exact_fa_count() >= 1);
+            assert!(report.exact_fa_count() < report.npn_fa_count());
+            assert!(report.exact_ha_count() >= n, "exact HAs for n={n}");
+        }
+    }
+
+    #[test]
+    fn detects_npn_but_not_exact_for_negated_carry_inputs() {
+        // sum = xor3(a,b,c) (exact), carry = maj(!a,!b,c) (NPN only).
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let s = aig.xor3(a, b, c);
+        let co = aig.maj(!a, !b, c);
+        aig.add_output("s", s);
+        aig.add_output("c", co);
+        let report = detect_blocks_atree(&aig);
+        assert_eq!(report.npn_fa_count(), 1);
+        assert_eq!(report.exact_fa_count(), 0);
+    }
+
+    #[test]
+    fn no_false_positives_on_plain_logic() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(4);
+        let y1 = aig.and(ins[0], ins[1]);
+        let y2 = aig.or(y1, ins[2]);
+        let y3 = aig.and(y2, ins[3]);
+        aig.add_output("y", y3);
+        let report = detect_blocks_atree(&aig);
+        assert_eq!(report.npn_fa_count(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Detected adder-block descriptions shared by all reasoning tools.
+
+use aig::Var;
+
+/// A detected full-adder block: an XOR3 signal and a MAJ signal over
+/// the same three leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaBlock {
+    /// The three input leaves (sorted).
+    pub leaves: [Var; 3],
+    /// The node whose (possibly complemented) signal is the sum.
+    pub sum: Var,
+    /// `true` if the sum node computes `!XOR3` (the complemented edge
+    /// carries the exact sum).
+    pub sum_neg: bool,
+    /// The node whose (possibly complemented) signal is the carry.
+    pub carry: Var,
+    /// `true` if the carry node computes `!MAJ`.
+    pub carry_neg: bool,
+    /// `true` if the block is an *exact* FA: both signals are logically
+    /// equal to XOR3/MAJ of the leaves (up to edge polarity, which is
+    /// free in an AIG). `false` means NPN-equivalent only (e.g. the
+    /// carry is a majority of negated leaves).
+    pub exact: bool,
+}
+
+/// A detected half-adder block: an XOR2 signal and an AND2 signal over
+/// the same two leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaBlock {
+    /// The two input leaves (sorted).
+    pub leaves: [Var; 2],
+    /// The sum node.
+    pub sum: Var,
+    /// `true` if the sum node computes XNOR.
+    pub sum_neg: bool,
+    /// The carry node.
+    pub carry: Var,
+    /// `true` if the carry node computes NAND.
+    pub carry_neg: bool,
+    /// Exactness (same convention as [`FaBlock::exact`]).
+    pub exact: bool,
+}
+
+/// The blocks a reasoning tool detected in a netlist.
+#[derive(Debug, Clone, Default)]
+pub struct BlockReport {
+    /// Detected full adders.
+    pub fas: Vec<FaBlock>,
+    /// Detected half adders.
+    pub has: Vec<HaBlock>,
+}
+
+impl BlockReport {
+    /// Number of detected FA blocks (NPN or exact).
+    pub fn npn_fa_count(&self) -> usize {
+        self.fas.len()
+    }
+
+    /// Number of detected *exact* FA blocks.
+    pub fn exact_fa_count(&self) -> usize {
+        self.fas.iter().filter(|b| b.exact).count()
+    }
+
+    /// Number of detected HA blocks.
+    pub fn npn_ha_count(&self) -> usize {
+        self.has.len()
+    }
+
+    /// Number of detected exact HA blocks.
+    pub fn exact_ha_count(&self) -> usize {
+        self.has.iter().filter(|b| b.exact).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts() {
+        let fa = FaBlock {
+            leaves: [Var(1), Var(2), Var(3)],
+            sum: Var(9),
+            sum_neg: false,
+            carry: Var(10),
+            carry_neg: true,
+            exact: true,
+        };
+        let mut inexact = fa.clone();
+        inexact.exact = false;
+        let report = BlockReport {
+            fas: vec![fa, inexact],
+            has: vec![],
+        };
+        assert_eq!(report.npn_fa_count(), 2);
+        assert_eq!(report.exact_fa_count(), 1);
+        assert_eq!(report.npn_ha_count(), 0);
+    }
+}

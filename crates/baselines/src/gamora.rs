@@ -1,0 +1,252 @@
+//! A deterministic stand-in for Gamora (Wu et al., DAC 2023).
+//!
+//! Gamora trains a GNN on pre-mapping netlists labelled by ABC's cut
+//! enumeration and infers XOR3/MAJ roles by message passing over local
+//! structure. We emulate the *behavioural envelope* of that model
+//! without the stochastic training: a library of canonical structural
+//! fingerprints is harvested from pre-mapping multiplier templates, and
+//! inference classifies each (node, cut) pair by fingerprint lookup.
+//! Like the GNN, the classifier is essentially perfect on
+//! in-distribution (pre-mapping) structures and loses recall on
+//! technology-mapped netlists whose local shapes were never seen.
+//!
+//! See `DESIGN.md` ("substitution ledger") for the justification.
+
+use std::collections::{HashMap, HashSet};
+
+use aig::cut::{enumerate_cuts, CutParams};
+use aig::tt::Tt;
+use aig::{Aig, Lit, Node, Var};
+
+use crate::blocks::{BlockReport, FaBlock};
+
+/// The trained shape library.
+#[derive(Debug, Clone, Default)]
+pub struct GamoraModel {
+    sum_shapes: HashSet<String>,
+    carry_shapes: HashSet<String>,
+}
+
+impl GamoraModel {
+    /// "Trains" the model: harvests the structural fingerprints of all
+    /// XOR3/MAJ cones found (by exact cut functions) in the template
+    /// netlists — mirroring Gamora's training on ABC-labelled
+    /// pre-mapping multipliers.
+    pub fn train(templates: &[Aig]) -> GamoraModel {
+        let xor3_class = aig::npn::npn_canon(Tt::xor3()).tt;
+        let maj3_class = aig::npn::npn_canon(Tt::maj3()).tt;
+        let mut model = GamoraModel::default();
+        for aig in templates {
+            let cuts = enumerate_cuts(aig, &CutParams { k: 3, max_cuts: 48 });
+            for var in aig.and_vars() {
+                for cut in &cuts[var.index()] {
+                    if cut.size() != 3 || cut.leaves.contains(&var) {
+                        continue;
+                    }
+                    // Labels come from NPN classification, the same way
+                    // Gamora's training labels come from ABC's NPN cuts.
+                    let class = aig::npn::npn_canon(cut.tt).tt;
+                    let is_sum = class == xor3_class;
+                    let is_carry = class == maj3_class;
+                    if !is_sum && !is_carry {
+                        continue;
+                    }
+                    let fp = fingerprint(aig, var, &cut.leaves);
+                    if is_sum {
+                        model.sum_shapes.insert(fp);
+                    } else {
+                        model.carry_shapes.insert(fp);
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Trains on the default template set: small CSA and Booth
+    /// multipliers, both pre-mapping and technology-mapped — the same
+    /// benchmark families (and labels from cut enumeration) Gamora's
+    /// published model is trained on. Small mapped templates give the
+    /// classifier partial recall on mapped netlists, mirroring the
+    /// GNN's limited generalization there.
+    pub fn default_trained() -> GamoraModel {
+        let csa4 = aig::gen::csa_multiplier(4);
+        let csa5 = aig::gen::csa_multiplier(5);
+        let booth4 = aig::gen::booth_multiplier(4);
+        let booth6 = aig::gen::booth_multiplier(6);
+        let templates = vec![
+            aig::map::map_round_trip(&csa4),
+            aig::map::map_round_trip(&csa5),
+            aig::map::map_round_trip(&booth4),
+            aig::map::map_round_trip(&booth6),
+            csa4,
+            aig::gen::csa_multiplier(8),
+            booth6,
+            aig::gen::booth_multiplier(8),
+        ];
+        Self::train(&templates)
+    }
+
+    /// Number of distinct sum shapes learned.
+    pub fn num_sum_shapes(&self) -> usize {
+        self.sum_shapes.len()
+    }
+
+    /// Number of distinct carry shapes learned.
+    pub fn num_carry_shapes(&self) -> usize {
+        self.carry_shapes.len()
+    }
+}
+
+/// Canonical structural fingerprint of the cone of `root` down to
+/// `leaves`: an AND/complement tree with leaves replaced by their index
+/// in the (sorted) leaf list. Child order is canonicalized, so the
+/// fingerprint is invariant to fanin ordering but *not* to genuine
+/// restructuring — exactly the sensitivity structural methods have.
+fn fingerprint(aig: &Aig, root: Var, leaves: &[Var]) -> String {
+    fn go(aig: &Aig, lit: Lit, leaves: &[Var], out: &mut String) {
+        if lit.is_complemented() {
+            out.push('!');
+        }
+        let var = lit.var();
+        if let Some(pos) = leaves.iter().position(|&l| l == var) {
+            out.push((b'a' + pos as u8) as char);
+            return;
+        }
+        match aig.node(var) {
+            Node::Const => out.push('0'),
+            Node::Input(_) => out.push('?'), // cone escapes the leaves
+            Node::And(x, y) => {
+                let mut sx = String::new();
+                go(aig, x, leaves, &mut sx);
+                let mut sy = String::new();
+                go(aig, y, leaves, &mut sy);
+                if sy < sx {
+                    std::mem::swap(&mut sx, &mut sy);
+                }
+                out.push('(');
+                out.push_str(&sx);
+                out.push('&');
+                out.push_str(&sy);
+                out.push(')');
+            }
+        }
+    }
+    let mut s = String::new();
+    go(aig, root.lit(), leaves, &mut s);
+    s
+}
+
+/// Runs Gamora-style inference: classifies each 3-cut by fingerprint
+/// lookup and pairs sum/carry candidates into FA blocks.
+///
+/// Exactness is decided the same way as for the ABC baseline (the
+/// model's predictions are then checked functionally, which mirrors
+/// how Gamora's outputs are consumed).
+pub fn detect_blocks_gamora(aig: &Aig, model: &GamoraModel) -> BlockReport {
+    let cuts = enumerate_cuts(aig, &CutParams { k: 3, max_cuts: 48 });
+    #[allow(clippy::type_complexity)]
+    let mut cand: HashMap<[Var; 3], (Vec<(Var, bool, bool)>, Vec<(Var, bool, bool)>)> =
+        HashMap::new();
+    for var in aig.and_vars() {
+        for cut in &cuts[var.index()] {
+            if cut.size() != 3 || cut.leaves.contains(&var) {
+                continue;
+            }
+            let fp = fingerprint(aig, var, &cut.leaves);
+            let leaves = [cut.leaves[0], cut.leaves[1], cut.leaves[2]];
+            if model.sum_shapes.contains(&fp) {
+                let neg = cut.tt == !Tt::xor3();
+                let exact = cut.tt == Tt::xor3() || neg;
+                cand.entry(leaves).or_default().0.push((var, neg, exact));
+            } else if model.carry_shapes.contains(&fp) {
+                let neg = cut.tt == !Tt::maj3();
+                let exact = cut.tt == Tt::maj3() || neg;
+                cand.entry(leaves).or_default().1.push((var, neg, exact));
+            }
+        }
+    }
+    let mut report = BlockReport::default();
+    for (leaves, (mut sums, mut carries)) in cand {
+        sums.sort_by_key(|(v, ..)| *v);
+        sums.dedup_by_key(|(v, ..)| *v);
+        carries.sort_by_key(|(v, ..)| *v);
+        carries.dedup_by_key(|(v, ..)| *v);
+        for ((sum, sum_neg, se), (carry, carry_neg, ce)) in sums.iter().zip(&carries) {
+            report.fas.push(FaBlock {
+                leaves,
+                sum: *sum,
+                sum_neg: *sum_neg,
+                carry: *carry,
+                carry_neg: *carry_neg,
+                exact: *se && *ce,
+            });
+        }
+    }
+    report.fas.sort_by_key(|b| (b.leaves, b.sum, b.carry));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::{csa_fa_upper_bound, csa_multiplier};
+
+    #[test]
+    fn training_learns_shapes() {
+        let model = GamoraModel::default_trained();
+        assert!(model.num_sum_shapes() >= 1);
+        assert!(model.num_carry_shapes() >= 1);
+    }
+
+    #[test]
+    fn perfect_on_in_distribution_netlists() {
+        let model = GamoraModel::default_trained();
+        for n in [4usize, 6, 12] {
+            let aig = csa_multiplier(n);
+            let report = detect_blocks_gamora(&aig, &model);
+            assert_eq!(
+                report.npn_fa_count(),
+                csa_fa_upper_bound(n),
+                "pre-mapping recall for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degrades_on_restructured_netlists() {
+        let model = GamoraModel::default_trained();
+        let aig = csa_multiplier(8);
+        let mapped = aig::map::map_round_trip(&aig);
+        let pre = detect_blocks_gamora(&aig, &model).npn_fa_count();
+        let post = detect_blocks_gamora(&mapped, &model).npn_fa_count();
+        assert!(
+            post < pre,
+            "expected degradation: pre={pre} post={post}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_fanin_order_invariant() {
+        let mut a1 = Aig::new();
+        let x = a1.add_input();
+        let y = a1.add_input();
+        let z = a1.add_input();
+        let and_xy = a1.and(x, y);
+        let root1 = a1.and(and_xy, z);
+
+        let mut a2 = Aig::new();
+        let p = a2.add_input();
+        let q = a2.add_input();
+        let r = a2.add_input();
+        let and_qp = a2.and(q, p);
+        let root2 = a2.and(r, and_qp);
+
+        let leaves1 = [x.var(), y.var(), z.var()];
+        let leaves2 = [p.var(), q.var(), r.var()];
+        assert_eq!(
+            fingerprint(&a1, root1.var(), &leaves1),
+            fingerprint(&a2, root2.var(), &leaves2)
+        );
+    }
+}

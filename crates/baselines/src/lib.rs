@@ -1,0 +1,26 @@
+//! Baseline symbolic-reasoning tools the paper compares BoolE against:
+//!
+//! * [`atree`] — ABC's `&atree`-style adder-tree extraction via
+//!   K-feasible cut enumeration, NPN classification of cut functions,
+//!   and XOR3/MAJ pairing into full-adder blocks.
+//! * [`gamora`] — a deterministic stand-in for the Gamora GNN
+//!   (DAC 2023): a structural shape-hash classifier whose pattern
+//!   library is harvested from pre-mapping multiplier templates (the
+//!   same data Gamora is trained on). Like the GNN, it is exhaustive on
+//!   in-distribution (pre-mapping) structures and degrades on
+//!   technology-mapped netlists.
+//!
+//! Both report [`BlockReport`]s of detected half/full adder blocks with
+//! exact-vs-NPN classification, which downstream verification
+//! ([`sca`](https://docs.rs/boole-sca)) and the benchmark harness
+//! consume.
+
+#![warn(missing_docs)]
+
+pub mod atree;
+pub mod blocks;
+pub mod gamora;
+
+pub use atree::detect_blocks_atree;
+pub use blocks::{BlockReport, FaBlock, HaBlock};
+pub use gamora::{detect_blocks_gamora, GamoraModel};

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the structural substrate: cut
+//! enumeration, NPN canonicalization, and the ABC-style baseline
+//! (supports the Fig. 4 baseline columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aig::cut::{enumerate_cuts, CutParams};
+use aig::npn::npn_canon;
+use aig::tt::Tt;
+
+fn bench_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuts");
+    for n in [8usize, 12] {
+        let aig = aig::gen::csa_multiplier(n);
+        group.bench_with_input(BenchmarkId::new("enumerate_k3_csa", n), &aig, |b, aig| {
+            b.iter(|| {
+                enumerate_cuts(aig, &CutParams::default())
+                    .iter()
+                    .map(|cs| cs.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_npn(c: &mut Criterion) {
+    c.bench_function("npn_canon_all_3var", |b| {
+        b.iter(|| {
+            (0..256u64)
+                .map(|bits| npn_canon(Tt::from_bits(3, bits)).tt.bits())
+                .fold(0u64, |acc, x| acc ^ x)
+        })
+    });
+}
+
+fn bench_atree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atree");
+    for n in [8usize, 12] {
+        let aig = aig::gen::csa_multiplier(n);
+        group.bench_with_input(BenchmarkId::new("detect_blocks_csa", n), &aig, |b, aig| {
+            b.iter(|| baselines::detect_blocks_atree(aig).npn_fa_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuts, bench_npn, bench_atree);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the saturation phases (supports
+//! Fig. 5's runtime analysis at microbench granularity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boole::{aig_to_egraph, pair_full_adders, saturate, NetlistEGraph, SaturateParams};
+
+fn bench_params() -> SaturateParams {
+    SaturateParams {
+        node_limit: 6_000,
+        time_limit: std::time::Duration::from_secs(3),
+        match_limit: 300,
+        ..SaturateParams::default()
+    }
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    for n in [3usize] {
+        let aig = aig::gen::csa_multiplier(n);
+        group.bench_with_input(BenchmarkId::new("csa_two_phase", n), &aig, |b, aig| {
+            b.iter(|| {
+                let net: NetlistEGraph = aig_to_egraph(aig);
+                let (net, _) = saturate(net, &bench_params());
+                net.egraph.total_number_of_nodes()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    let aig = aig::gen::csa_multiplier(4);
+    let net: NetlistEGraph = aig_to_egraph(&aig);
+    let (net, _) = saturate(net, &bench_params());
+    group.bench_function("csa4_pair_full_adders", |b| {
+        b.iter_with_setup(
+            || net.egraph.clone(),
+            |mut eg| pair_full_adders(&mut eg).fa_inserted,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturation, bench_pairing);
+criterion_main!(benches);

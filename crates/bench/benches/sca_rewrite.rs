@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the SCA verification backend
+//! (supports Table II's runtime columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sca::{verify_multiplier, AdderBlocks, MulSpec, VerifyParams};
+
+fn generator_blocks(m: &aig::gen::Multiplier) -> AdderBlocks {
+    AdderBlocks {
+        fas: m
+            .fas
+            .iter()
+            .map(|fa| sca::FaBlockSpec {
+                inputs: fa.inputs,
+                sum: fa.sum,
+                carry: fa.carry,
+            })
+            .collect(),
+        has: m
+            .has
+            .iter()
+            .map(|ha| sca::HaBlockSpec {
+                inputs: ha.inputs,
+                sum: ha.sum,
+                carry: ha.carry,
+            })
+            .collect(),
+    }
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sca_verify");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        let m = aig::gen::csa_multiplier_with_stats(n);
+        let blocks = generator_blocks(&m);
+        group.bench_with_input(
+            BenchmarkId::new("csa_gate_level", n),
+            &m.aig,
+            |b, aig| {
+                b.iter(|| {
+                    verify_multiplier(
+                        aig,
+                        MulSpec::unsigned(n),
+                        &AdderBlocks::none(),
+                        &VerifyParams::default(),
+                    )
+                    .max_poly_size
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csa_with_blocks", n),
+            &(&m.aig, &blocks),
+            |b, (aig, blocks)| {
+                b.iter(|| {
+                    verify_multiplier(
+                        aig,
+                        MulSpec::unsigned(n),
+                        blocks,
+                        &VerifyParams::default(),
+                    )
+                    .max_poly_size
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Developer tool implementing the paper's R2 harvesting methodology:
+//! find 3-cuts computing ±MAJ / ±XOR3 in mapped/optimized benchmark
+//! netlists and print their cone structures as candidate rewrite
+//! patterns.
+//!
+//! ```text
+//! cargo run --release -p boole-bench --bin harvest -- [--max-bits 8]
+//! ```
+
+use std::collections::BTreeMap;
+
+use aig::cut::{cone_tt, enumerate_cuts, CutParams};
+use aig::tt::Tt;
+use aig::{Aig, Lit, Node, Var};
+
+fn main() {
+    let max_bits = boole_bench::arg_usize("--max-bits", 8);
+    let mut maj_shapes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut xor_shapes: BTreeMap<String, usize> = BTreeMap::new();
+
+    for n in (3..=max_bits).step_by(1) {
+        for prep in [boole_bench::Prep::Mapped, boole_bench::Prep::Dch] {
+            let aig = boole_bench::prepare(boole_bench::Family::Csa, n, prep);
+            harvest(&aig, &mut maj_shapes, &mut xor_shapes);
+        }
+    }
+
+    println!("== MAJ cone shapes (count desc) ==");
+    let mut majs: Vec<_> = maj_shapes.into_iter().collect();
+    majs.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (shape, count) in majs.iter().take(40) {
+        println!("{count:>5}  {shape}");
+    }
+    println!("\n== XOR3 cone shapes (count desc) ==");
+    let mut xors: Vec<_> = xor_shapes.into_iter().collect();
+    xors.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (shape, count) in xors.iter().take(40) {
+        println!("{count:>5}  {shape}");
+    }
+}
+
+fn harvest(
+    aig: &Aig,
+    maj_shapes: &mut BTreeMap<String, usize>,
+    xor_shapes: &mut BTreeMap<String, usize>,
+) {
+    let cuts = enumerate_cuts(aig, &CutParams { k: 3, max_cuts: 48 });
+    for var in aig.and_vars() {
+        for cut in &cuts[var.index()] {
+            if cut.size() != 3 || cut.leaves.contains(&var) {
+                continue;
+            }
+            let tt = cone_tt(aig, var, &cut.leaves).unwrap_or(cut.tt);
+            let is_maj = tt == Tt::maj3() || tt == !Tt::maj3();
+            let is_xor = tt == Tt::xor3() || tt == !Tt::xor3();
+            if !is_maj && !is_xor {
+                continue;
+            }
+            let pattern = cone_pattern(aig, var.lit(), &cut.leaves, 0);
+            let map = if is_maj { &mut *maj_shapes } else { &mut *xor_shapes };
+            *map.entry(pattern).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Renders the cone of `lit` above `leaves` as a pattern s-expression.
+fn cone_pattern(aig: &Aig, lit: Lit, leaves: &[Var], depth: usize) -> String {
+    let inner = cone_pattern_var(aig, lit.var(), leaves, depth);
+    if lit.is_complemented() {
+        format!("(! {inner})")
+    } else {
+        inner
+    }
+}
+
+fn cone_pattern_var(aig: &Aig, var: Var, leaves: &[Var], depth: usize) -> String {
+    if let Some(pos) = leaves.iter().position(|&l| l == var) {
+        return format!("?{}", (b'a' + pos as u8) as char);
+    }
+    if depth > 8 {
+        return "?deep".to_owned();
+    }
+    match aig.node(var) {
+        Node::Const => "false".to_owned(),
+        Node::Input(_) => "?esc".to_owned(),
+        Node::And(x, y) => {
+            let sx = cone_pattern(aig, x, leaves, depth + 1);
+            let sy = cone_pattern(aig, y, leaves, depth + 1);
+            let (sx, sy) = if sy < sx { (sy, sx) } else { (sx, sy) };
+            format!("(& {sx} {sy})")
+        }
+    }
+}

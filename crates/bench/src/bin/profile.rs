@@ -1,0 +1,94 @@
+//! Developer tool: per-phase timing of the BoolE pipeline.
+//!
+//! ```text
+//! cargo run --release -p boole-bench --bin profile -- [--bits 4] [--mapped]
+//! ```
+
+use std::time::Instant;
+
+use boole::{aig_to_egraph, extract_dag, pair_full_adders, reconstruct_aig, saturate};
+use boole::{NetlistEGraph, SaturateParams};
+
+fn main() {
+    let n = boole_bench::arg_usize("--bits", 4);
+    let mapped = boole_bench::arg_flag("--mapped");
+    let aig = if boole_bench::arg_flag("--booth") {
+        aig::gen::booth_multiplier(n)
+    } else {
+        aig::gen::csa_multiplier(n)
+    };
+    let aig = if mapped {
+        aig::map::map_round_trip(&aig)
+    } else if boole_bench::arg_flag("--dch") {
+        aig::opt::dch(&aig)
+    } else {
+        aig
+    };
+    println!("netlist: {} ANDs ({} inputs)", aig.num_ands(), aig.num_inputs());
+
+    let t0 = Instant::now();
+    let net: NetlistEGraph = aig_to_egraph(&aig);
+    println!("convert      : {:?} ({} classes)", t0.elapsed(), net.egraph.num_classes());
+
+    let mut params = if boole_bench::arg_flag("--small") {
+        SaturateParams::small()
+    } else {
+        SaturateParams::default()
+    };
+    params.r1_growth = boole_bench::arg_usize("--growth", params.r1_growth as usize) as f64;
+    params.r1_iters = boole_bench::arg_usize("--r1-iters", params.r1_iters);
+    params.r2_iters = boole_bench::arg_usize("--r2-iters", params.r2_iters);
+    let t1 = Instant::now();
+    let (mut net, stats) = saturate(net, &params);
+    println!(
+        "saturate     : {:?} (R1 {} iters -> {} nodes [{}], R2 {} iters -> {} nodes [{}], pruned {})",
+        t1.elapsed(),
+        stats.r1_iterations,
+        stats.nodes_after_r1,
+        stats.r1_stop,
+        stats.r2_iterations,
+        stats.nodes_after_r2,
+        stats.r2_stop,
+        stats.pruned
+    );
+
+    let t2 = Instant::now();
+    let pairing = pair_full_adders(&mut net.egraph);
+    println!(
+        "pair         : {:?} ({} fa inserted; {} xor3 / {} maj triples)",
+        t2.elapsed(),
+        pairing.fa_inserted,
+        pairing.xor3_triples,
+        pairing.maj_triples
+    );
+
+    let t3 = Instant::now();
+    let extraction = extract_dag(&net.egraph);
+    println!("extract      : {:?} ({} classes chosen)", t3.elapsed(), extraction.len());
+
+    let t4 = Instant::now();
+    let (out, fas) = reconstruct_aig(&net.egraph, &extraction, aig.num_inputs(), &net.outputs);
+    println!(
+        "reconstruct  : {:?} ({} ANDs, {} exact FAs; upper bound {})",
+        t4.elapsed(),
+        out.num_ands(),
+        fas.len(),
+        aig::gen::csa_fa_upper_bound(n)
+    );
+    assert!(aig::sim::random_equiv_check(&aig, &out, 4, 0xFACE));
+    println!("equivalence  : ok");
+
+    if boole_bench::arg_flag("--dump-fas") {
+        println!("recovered FAs (inputs -> sum/carry):");
+        for fa in &fas {
+            println!("  {:?} -> {:?} / {:?}", fa.inputs, fa.sum, fa.carry);
+        }
+        if !mapped {
+            let m = aig::gen::csa_multiplier_with_stats(n);
+            println!("generator ground truth:");
+            for fa in &m.fas {
+                println!("  {:?} -> {:?} / {:?}", fa.inputs, fa.sum, fa.carry);
+            }
+        }
+    }
+}

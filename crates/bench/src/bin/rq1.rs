@@ -1,0 +1,43 @@
+//! Regenerates **RQ1** (Section V-A): pre-mapping FA identification —
+//! both ABC-style cut enumeration and BoolE must reach the theoretical
+//! upper bound, demonstrating that ruleset `R2` alone dominates
+//! pre-mapping reasoning.
+//!
+//! ```text
+//! cargo run --release -p boole-bench --bin rq1 -- [--max-bits 16] [--step 4]
+//! ```
+
+use boole::{BoolE, BooleParams};
+use boole_bench::{abc_counts, prepare, Family, Prep};
+
+fn main() {
+    let max_bits = boole_bench::arg_usize("--max-bits", 16);
+    let step = boole_bench::arg_usize("--step", 4);
+
+    println!("== RQ1 — pre-mapping FA identification ==");
+    println!(
+        "{:>7} {:>5} {:>11} {:>9} {:>11} {:>8}",
+        "family", "bits", "UpperBound", "NPN-ABC", "Exact-BoolE", "optimal"
+    );
+    for family in [Family::Csa, Family::Booth] {
+        let mut n = 4;
+        while n <= max_bits {
+            if family == Family::Booth && n % 2 != 0 {
+                n += step;
+                continue;
+            }
+            let pre = prepare(family, n, Prep::None);
+            let upper = abc_counts(&pre).npn;
+            let result = BoolE::new(BooleParams::default()).run(&pre);
+            let optimal = result.exact_fa_count() >= upper;
+            println!(
+                "{:>7} {n:>5} {upper:>11} {:>9} {:>11} {:>8}",
+                family.name(),
+                upper,
+                result.exact_fa_count(),
+                if optimal { "yes" } else { "NO" }
+            );
+            n += step;
+        }
+    }
+}

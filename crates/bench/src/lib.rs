@@ -1,0 +1,215 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures (see `EXPERIMENTS.md` at the workspace root).
+
+use aig::Aig;
+use baselines::BlockReport;
+use boole::BooleResult;
+use sca::{AdderBlocks, FaBlockSpec, HaBlockSpec};
+
+/// The benchmark multiplier families of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Unsigned carry-save array multipliers.
+    Csa,
+    /// Signed radix-4 Booth multipliers.
+    Booth,
+}
+
+impl Family {
+    /// Generates the pre-mapping netlist of width `n`.
+    pub fn generate(self, n: usize) -> Aig {
+        match self {
+            Family::Csa => aig::gen::csa_multiplier(n),
+            Family::Booth => aig::gen::booth_multiplier(n),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Csa => "CSA",
+            Family::Booth => "Booth",
+        }
+    }
+}
+
+/// How a benchmark netlist is prepared before reasoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prep {
+    /// Pre-mapping (generator output).
+    None,
+    /// ASAP7-style technology mapping round trip.
+    Mapped,
+    /// `dch`-style logic optimization (Table II setup).
+    Dch,
+}
+
+/// Prepares a benchmark netlist.
+pub fn prepare(family: Family, n: usize, prep: Prep) -> Aig {
+    let aig = family.generate(n);
+    match prep {
+        Prep::None => aig,
+        Prep::Mapped => aig::map::map_round_trip(&aig),
+        Prep::Dch => aig::opt::dch(&aig),
+    }
+}
+
+/// FA counts reported by one reasoning tool on one netlist.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaCounts {
+    /// NPN-equivalent FA blocks.
+    pub npn: usize,
+    /// Exact FA blocks.
+    pub exact: usize,
+}
+
+impl From<&BlockReport> for FaCounts {
+    fn from(report: &BlockReport) -> FaCounts {
+        FaCounts {
+            npn: report.npn_fa_count(),
+            exact: report.exact_fa_count(),
+        }
+    }
+}
+
+/// Counts FAs with the ABC-style baseline.
+pub fn abc_counts(aig: &Aig) -> FaCounts {
+    FaCounts::from(&baselines::detect_blocks_atree(aig))
+}
+
+/// Counts FAs with the Gamora-style baseline.
+pub fn gamora_counts(aig: &Aig, model: &baselines::GamoraModel) -> FaCounts {
+    FaCounts::from(&baselines::detect_blocks_gamora(aig, model))
+}
+
+/// Counts FAs recovered by BoolE: exact = extracted `fa` nodes; NPN =
+/// what cut enumeration finds on the reconstructed netlist (the
+/// paper's Fig. 4 protocol).
+pub fn boole_counts(result: &BooleResult) -> FaCounts {
+    let npn_on_reconstructed = baselines::detect_blocks_atree(&result.reconstructed)
+        .npn_fa_count()
+        .max(result.exact_fa_count());
+    FaCounts {
+        npn: npn_on_reconstructed,
+        exact: result.exact_fa_count(),
+    }
+}
+
+/// Converts BoolE's recovered FAs — mapped back onto the *original*
+/// netlist's signals — plus the exact HAs cut enumeration finds there,
+/// into verifier block knowledge. This is the "integrate BoolE into
+/// RevSCA-2.0" glue of Table II: the verifier rewrites the original
+/// optimized netlist, and BoolE's exact blocks remove the vanishing
+/// monomials.
+pub fn verifier_blocks(result: &BooleResult, original: &aig::Aig) -> AdderBlocks {
+    let mut blocks = AdderBlocks {
+        fas: result
+            .original_fas
+            .iter()
+            .map(|fa| FaBlockSpec {
+                inputs: fa.inputs,
+                sum: fa.sum,
+                carry: fa.carry,
+            })
+            .collect(),
+        has: vec![],
+    };
+    let report = baselines::detect_blocks_atree(original);
+    blocks.has = exact_ha_specs(&report);
+    blocks
+}
+
+/// Converts a baseline block report into verifier block knowledge
+/// (exact blocks only — NPN blocks are unusable for SCA, as the paper
+/// notes).
+pub fn baseline_blocks(report: &BlockReport) -> AdderBlocks {
+    AdderBlocks {
+        fas: report
+            .fas
+            .iter()
+            .filter(|b| b.exact)
+            .map(|b| FaBlockSpec {
+                inputs: [b.leaves[0].lit(), b.leaves[1].lit(), b.leaves[2].lit()],
+                sum: b.sum.lit().with_complement(b.sum_neg),
+                carry: b.carry.lit().with_complement(b.carry_neg),
+            })
+            .collect(),
+        has: exact_ha_specs(report),
+    }
+}
+
+fn exact_ha_specs(report: &BlockReport) -> Vec<HaBlockSpec> {
+    report
+        .has
+        .iter()
+        .filter(|b| b.exact)
+        .map(|b| HaBlockSpec {
+            inputs: [b.leaves[0].lit(), b.leaves[1].lit()],
+            sum: b.sum.lit().with_complement(b.sum_neg),
+            carry: b.carry.lit().with_complement(b.carry_neg),
+        })
+        .collect()
+}
+
+/// Parses `--flag value`-style integers from `std::env::args`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Returns `true` if `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_variants_share_function() {
+        let base = prepare(Family::Csa, 4, Prep::None);
+        for prep in [Prep::Mapped, Prep::Dch] {
+            let other = prepare(Family::Csa, 4, prep);
+            assert!(aig::sim::random_equiv_check(&base, &other, 4, 0xFE));
+        }
+    }
+
+    #[test]
+    fn baseline_blocks_polarity_roundtrip() {
+        let aig = prepare(Family::Csa, 4, Prep::None);
+        let report = baselines::detect_blocks_atree(&aig);
+        let blocks = baseline_blocks(&report);
+        assert_eq!(blocks.fas.len(), report.exact_fa_count());
+        // Every exact block's literals must satisfy the FA identity on
+        // simulation.
+        let words = aig::sim::simulate_node_words(
+            &aig,
+            &(0..aig.num_inputs())
+                .map(|i| 0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1))
+                .collect::<Vec<_>>(),
+        );
+        let val = |lit: aig::Lit| {
+            let w = words[lit.var().index()];
+            if lit.is_complemented() {
+                !w
+            } else {
+                w
+            }
+        };
+        for fa in &blocks.fas {
+            let (a, b, c) = (val(fa.inputs[0]), val(fa.inputs[1]), val(fa.inputs[2]));
+            assert_eq!(val(fa.sum), a ^ b ^ c);
+            assert_eq!(val(fa.carry), (a & b) | (a & c) | (b & c));
+        }
+        for ha in &blocks.has {
+            let (a, b) = (val(ha.inputs[0]), val(ha.inputs[1]));
+            assert_eq!(val(ha.sum), a ^ b);
+            assert_eq!(val(ha.carry), a & b);
+        }
+    }
+}

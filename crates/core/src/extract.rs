@@ -1,0 +1,430 @@
+//! DAG-based exact extraction (Section IV-B, Algorithm 2).
+//!
+//! The cost function maximizes the number of *distinct* full adders in
+//! the extracted DAG — each shared FA is counted once — with a
+//! weighted-depth tie-breaker. Per e-class we maintain a cost set (the
+//! set of FA tuple-class ids reachable through the chosen sub-DAG);
+//! `fst`, `snd`, and `fa` are selected atomically because the
+//! projections' only child is the FA tuple class itself.
+//!
+//! Two selections are computed:
+//!
+//! * the **optimal** selection — an improving worklist fixpoint
+//!   (Algorithm 2). Its cost map can, in rare corner cases, become
+//!   mutually stale and cyclic (a child switching to a different,
+//!   larger FA set whose union with siblings shrinks).
+//! * a **safe** selection — rank-constrained (children must be
+//!   selected strictly earlier), acyclic by construction.
+//!
+//! The reconstructor follows the optimal selection and downgrades an
+//! e-class to its safe choice only when it actually detects a cycle,
+//! so the quality of the optimal selection is kept wherever possible.
+//!
+//! Following the paper's memory optimization, cost sets store FA ids
+//! as `u16` when the e-graph has fewer than 65 536 classes and `u32`
+//! otherwise.
+
+use std::collections::{HashMap, HashSet};
+
+use egraph::{EGraph, Id, Language};
+
+use crate::BoolLang;
+
+/// A compact sorted set of FA identifiers with adaptive width
+/// (the paper's u16/u32 cost-map key optimization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaSet {
+    /// 16-bit ids (e-graphs below 65 536 classes).
+    Small(Vec<u16>),
+    /// 32-bit ids.
+    Large(Vec<u32>),
+}
+
+impl FaSet {
+    fn empty(small: bool) -> FaSet {
+        if small {
+            FaSet::Small(Vec::new())
+        } else {
+            FaSet::Large(Vec::new())
+        }
+    }
+
+    fn singleton(id: usize, small: bool) -> FaSet {
+        if small {
+            FaSet::Small(vec![id as u16])
+        } else {
+            FaSet::Large(vec![id as u32])
+        }
+    }
+
+    /// Number of FAs in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            FaSet::Small(v) => v.len(),
+            FaSet::Large(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the ids as `usize`.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            FaSet::Small(v) => Box::new(v.iter().map(|&x| x as usize)),
+            FaSet::Large(v) => Box::new(v.iter().map(|&x| x as usize)),
+        }
+    }
+
+    fn merge(&mut self, other: &FaSet) {
+        match (self, other) {
+            (FaSet::Small(a), FaSet::Small(b)) => merge_sorted(a, b),
+            (FaSet::Large(a), FaSet::Large(b)) => merge_sorted(a, b),
+            _ => panic!("mixed FaSet widths"),
+        }
+    }
+}
+
+fn merge_sorted<T: Ord + Copy>(a: &mut Vec<T>, b: &[T]) {
+    if b.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    *a = out;
+}
+
+/// The chosen e-node and cost for one e-class.
+#[derive(Debug, Clone)]
+pub struct DagChoice {
+    /// The selected e-node (children are canonical class ids).
+    pub node: BoolLang,
+    /// FA tuple classes reachable through the selection.
+    pub fas: FaSet,
+    /// Weighted-depth tie-breaker (max-plus over children; cannot
+    /// saturate, unlike tree size).
+    pub size: u64,
+}
+
+/// The result of DAG extraction: one choice per reachable e-class in
+/// each of the optimal and safe selections.
+#[derive(Debug)]
+pub struct DagExtraction {
+    choices: HashMap<Id, DagChoice>,
+    safe: HashMap<Id, DagChoice>,
+    /// FA-id → e-class mapping used by the cost sets.
+    fa_index: Vec<Id>,
+}
+
+impl DagExtraction {
+    /// The optimal choice for `class`, if it was extractable.
+    pub fn choice(&self, class: Id) -> Option<&DagChoice> {
+        self.choices.get(&class)
+    }
+
+    /// The guaranteed-acyclic fallback choice for `class`.
+    pub fn safe_choice(&self, class: Id) -> Option<&DagChoice> {
+        self.safe.get(&class)
+    }
+
+    /// The distinct FA tuple classes used by the optimal extraction of
+    /// `roots` (each counted once — the paper's exact-FA count; the
+    /// reconstructor reports the realized count, which matches except
+    /// when cycle downgrades occurred).
+    pub fn selected_fas(&self, egraph: &EGraph<BoolLang>, roots: &[Id]) -> Vec<Id> {
+        let mut merged: Vec<usize> = Vec::new();
+        for &root in roots {
+            if let Some(choice) = self.choices.get(&egraph.find(root)) {
+                let ids: Vec<usize> = choice.fas.iter().collect();
+                merge_sorted(&mut merged, &ids);
+            }
+        }
+        merged.into_iter().map(|i| self.fa_index[i]).collect()
+    }
+
+    /// Number of e-classes with an optimal choice.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Returns `true` if nothing was extractable.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+/// Approximate AIG cost of materializing one operator. Strictly
+/// positive for every operator with children so that depth strictly
+/// increases along selection edges.
+fn node_size(node: &BoolLang) -> u64 {
+    match node {
+        BoolLang::Const(_) | BoolLang::Var(_) => 0,
+        BoolLang::Not(_) | BoolLang::Fst(_) | BoolLang::Snd(_) => 1,
+        BoolLang::And(_) | BoolLang::Or(_) => 2,
+        BoolLang::Xor(_) => 4,
+        BoolLang::Xor3(_) => 7,
+        BoolLang::Maj(_) => 6,
+        // The FA pair shares its XOR/MAJ structure across both outputs.
+        BoolLang::Fa(_) => 9,
+    }
+}
+
+/// Runs the fixed-point DAG extraction over the whole e-graph
+/// (Algorithm 2). Classes unreachable from any leaf remain without a
+/// choice.
+///
+/// # Panics
+///
+/// Panics if the e-graph is not clean.
+pub fn extract_dag(egraph: &EGraph<BoolLang>) -> DagExtraction {
+    assert!(egraph.is_clean(), "extraction requires a clean e-graph");
+    // Index FA tuple classes for compact cost sets.
+    let fa_index: Vec<Id> = crate::pair::fa_classes(egraph);
+    let fa_pos: HashMap<Id, usize> = fa_index
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let small = fa_index.len() < u16::MAX as usize && egraph.num_classes() < u16::MAX as usize;
+
+    // Parent index: which classes reference a class as a child
+    // (Algorithm 2's `node.parents()`).
+    let mut parents: HashMap<Id, Vec<Id>> = HashMap::new();
+    for class in egraph.classes() {
+        for node in class.iter() {
+            for &c in node.children() {
+                let entry = parents.entry(egraph.find(c)).or_default();
+                if entry.last() != Some(&class.id) {
+                    entry.push(class.id);
+                }
+            }
+        }
+    }
+    let seed: Vec<Id> = egraph
+        .classes()
+        .filter(|class| class.iter().any(|n| n.is_leaf()))
+        .map(|class| class.id)
+        .collect();
+
+    // Optimal (unconstrained) fixpoint.
+    let mut choices: HashMap<Id, DagChoice> = HashMap::new();
+    drain(
+        egraph,
+        &parents,
+        &fa_pos,
+        small,
+        &mut choices,
+        None,
+        seed.clone(),
+    );
+
+    // Safe (rank-constrained, acyclic) selection.
+    let mut safe: HashMap<Id, DagChoice> = HashMap::new();
+    let mut ranks: HashMap<Id, u32> = HashMap::new();
+    drain(
+        egraph,
+        &parents,
+        &fa_pos,
+        small,
+        &mut safe,
+        Some(&mut ranks),
+        seed,
+    );
+
+    DagExtraction {
+        choices,
+        safe,
+        fa_index,
+    }
+}
+
+/// One improving-worklist drain. With `ranks`, selections are
+/// rank-constrained (children strictly earlier), which guarantees
+/// acyclicity at the cost of occasionally missing an adoption.
+fn drain(
+    egraph: &EGraph<BoolLang>,
+    parents: &HashMap<Id, Vec<Id>>,
+    fa_pos: &HashMap<Id, usize>,
+    small: bool,
+    choices: &mut HashMap<Id, DagChoice>,
+    mut ranks: Option<&mut HashMap<Id, u32>>,
+    seed: Vec<Id>,
+) {
+    let mut next_rank: u32 = 0;
+    let mut queue: std::collections::VecDeque<Id> = seed.into();
+    let mut queued: HashSet<Id> = queue.iter().copied().collect();
+    while let Some(class_id) = queue.pop_front() {
+        queued.remove(&class_id);
+        let class = egraph.eclass(class_id);
+        let my_rank = ranks
+            .as_ref()
+            .map(|r| r.get(&class_id).copied().unwrap_or(u32::MAX));
+        let mut best: Option<DagChoice> = choices.get(&class_id).cloned();
+        let mut improved = false;
+        for node in class.iter() {
+            // All children must be selected already (and, in ranked
+            // mode, strictly earlier).
+            let eligible = node.children().iter().all(|&c| {
+                let c = egraph.find(c);
+                if c == class_id || !choices.contains_key(&c) {
+                    return false;
+                }
+                match (&ranks, my_rank) {
+                    (Some(r), Some(mine)) => r.get(&c).copied().unwrap_or(u32::MAX) < mine,
+                    _ => true,
+                }
+            });
+            if !eligible {
+                continue;
+            }
+            let mut fas = FaSet::empty(small);
+            let mut size = node_size(node);
+            for &c in node.children() {
+                let child = &choices[&egraph.find(c)];
+                fas.merge(&child.fas);
+                size = size.max(node_size(node) + child.size);
+            }
+            if let BoolLang::Fa(_) = node {
+                let pos = fa_pos[&egraph.find(class_id)];
+                fas.merge(&FaSet::singleton(pos, small));
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => fas.len() > b.fas.len() || (fas.len() == b.fas.len() && size < b.size),
+            };
+            if better {
+                best = Some(DagChoice {
+                    node: node.clone(),
+                    fas,
+                    size,
+                });
+                improved = true;
+            }
+        }
+        if improved {
+            if let Some(r) = ranks.as_mut() {
+                r.entry(class_id).or_insert_with(|| {
+                    let v = next_rank;
+                    next_rank += 1;
+                    v
+                });
+            }
+            choices.insert(class_id, best.expect("improved implies chosen"));
+            // Cost map update: re-enqueue the parents (Algorithm 2
+            // line 16). FA tuple classes are processed first: they only
+            // need their three inputs, so in ranked mode they are
+            // ranked before the XOR3/MAJ consumer classes that adopt
+            // their fst/snd projections.
+            if let Some(ps) = parents.get(&class_id) {
+                for &p in ps {
+                    if queued.insert(p) {
+                        if fa_pos.contains_key(&p) {
+                            queue.push_front(p);
+                        } else {
+                            queue.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::pair_full_adders;
+    use egraph::RecExpr;
+
+    #[test]
+    fn fa_set_merge_dedups() {
+        let mut a = FaSet::Small(vec![1, 3, 5]);
+        a.merge(&FaSet::Small(vec![2, 3, 6]));
+        assert_eq!(a, FaSet::Small(vec![1, 2, 3, 5, 6]));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn extraction_prefers_fa_projections() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        let sum = eg.add_expr(&"(^3 p q r)".parse::<RecExpr<BoolLang>>().unwrap());
+        let carry = eg.add_expr(&"(maj p q r)".parse::<RecExpr<BoolLang>>().unwrap());
+        eg.rebuild();
+        pair_full_adders(&mut eg);
+        let ex = extract_dag(&eg);
+        let sum_choice = ex.choice(eg.find(sum)).unwrap();
+        let carry_choice = ex.choice(eg.find(carry)).unwrap();
+        assert!(matches!(sum_choice.node, BoolLang::Snd(_)));
+        assert!(matches!(carry_choice.node, BoolLang::Fst(_)));
+        let fas = ex.selected_fas(&eg, &[sum, carry]);
+        assert_eq!(fas.len(), 1, "shared FA counted once");
+        // The safe selection also adopts the FA here.
+        assert!(matches!(
+            ex.safe_choice(eg.find(sum)).unwrap().node,
+            BoolLang::Snd(_)
+        ));
+    }
+
+    #[test]
+    fn shared_fa_counted_once_across_roots() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        let sum = eg.add_expr(&"(^3 p q r)".parse::<RecExpr<BoolLang>>().unwrap());
+        let carry = eg.add_expr(&"(maj p q r)".parse::<RecExpr<BoolLang>>().unwrap());
+        // Two downstream users of the same FA outputs.
+        let u1 = eg.add(BoolLang::And([sum, carry]));
+        let u2 = eg.add(BoolLang::Or([sum, carry]));
+        eg.rebuild();
+        pair_full_adders(&mut eg);
+        let ex = extract_dag(&eg);
+        assert_eq!(ex.selected_fas(&eg, &[u1, u2]).len(), 1);
+    }
+
+    #[test]
+    fn unpaired_classes_extract_normally() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        let root = eg.add_expr(&"(& (| p q) r)".parse::<RecExpr<BoolLang>>().unwrap());
+        eg.rebuild();
+        let ex = extract_dag(&eg);
+        let choice = ex.choice(eg.find(root)).unwrap();
+        assert!(choice.fas.is_empty());
+        assert!(matches!(choice.node, BoolLang::And(_)));
+    }
+
+    #[test]
+    fn chained_fas_all_counted() {
+        // carry of one FA feeds another FA.
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        let c1 = eg.add_expr(&"(maj p q r)".parse::<RecExpr<BoolLang>>().unwrap());
+        eg.add_expr(&"(^3 p q r)".parse::<RecExpr<BoolLang>>().unwrap());
+        let s = eg.add(BoolLang::var("s"));
+        let t = eg.add(BoolLang::var("t"));
+        let sum2 = eg.add(BoolLang::Xor3([c1, s, t]));
+        let carry2 = eg.add(BoolLang::Maj([c1, s, t]));
+        eg.rebuild();
+        let stats = pair_full_adders(&mut eg);
+        assert_eq!(stats.fa_inserted, 2);
+        let ex = extract_dag(&eg);
+        assert_eq!(ex.selected_fas(&eg, &[sum2, carry2]).len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! [`BoolLang`]: the Boolean term language BoolE saturates over.
+
+use std::fmt;
+
+use egraph::{FromOp, FromOpError, Id, Language, Symbol};
+
+/// The Boolean operators of BoolE's e-graph.
+///
+/// Besides the plain gate algebra (`&`, `|`, `!`, `^`), the language has
+/// first-class 3-input XOR (`^3`) and majority (`maj`) operators that
+/// the identification ruleset `R2` rewrites into, plus the multi-output
+/// full-adder machinery of Section IV-B: `fa` produces a (carry, sum)
+/// tuple, and the pseudo-operations `fst`/`snd` project the carry and
+/// sum out of it.
+///
+/// ```
+/// use boole::BoolLang;
+/// use egraph::RecExpr;
+/// let e: RecExpr<BoolLang> = "(maj a b (! c))".parse().unwrap();
+/// assert_eq!(e.to_string(), "(maj a b (! c))");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoolLang {
+    /// Constant false/true.
+    Const(bool),
+    /// A named input signal.
+    Var(Symbol),
+    /// Negation.
+    Not(Id),
+    /// 2-input AND.
+    And([Id; 2]),
+    /// 2-input OR.
+    Or([Id; 2]),
+    /// 2-input XOR.
+    Xor([Id; 2]),
+    /// 3-input XOR (a full-adder sum).
+    Xor3([Id; 3]),
+    /// 3-input majority (a full-adder carry).
+    Maj([Id; 3]),
+    /// A full adder over three inputs, producing a (carry, sum) tuple.
+    Fa([Id; 3]),
+    /// Projects the carry out of an [`BoolLang::Fa`] tuple.
+    Fst(Id),
+    /// Projects the sum out of an [`BoolLang::Fa`] tuple.
+    Snd(Id),
+}
+
+/// The operator tag of a [`BoolLang`] node (its
+/// [`Language::Discriminant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    /// `false` / `true`.
+    Const(bool),
+    /// A named input.
+    Var(Symbol),
+    /// `!`
+    Not,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `^3`
+    Xor3,
+    /// `maj`
+    Maj,
+    /// `fa`
+    Fa,
+    /// `fst`
+    Fst,
+    /// `snd`
+    Snd,
+}
+
+impl BoolLang {
+    /// Convenience constructor for a named variable.
+    pub fn var(name: impl Into<Symbol>) -> Self {
+        BoolLang::Var(name.into())
+    }
+
+    /// Returns `true` for the symmetric operators whose operand order
+    /// is semantically irrelevant (used by redundancy pruning).
+    pub fn is_symmetric(&self) -> bool {
+        matches!(
+            self,
+            BoolLang::And(_)
+                | BoolLang::Or(_)
+                | BoolLang::Xor(_)
+                | BoolLang::Xor3(_)
+                | BoolLang::Maj(_)
+                | BoolLang::Fa(_)
+        )
+    }
+}
+
+impl Language for BoolLang {
+    type Discriminant = BoolOp;
+
+    fn discriminant(&self) -> BoolOp {
+        match self {
+            BoolLang::Const(b) => BoolOp::Const(*b),
+            BoolLang::Var(s) => BoolOp::Var(*s),
+            BoolLang::Not(_) => BoolOp::Not,
+            BoolLang::And(_) => BoolOp::And,
+            BoolLang::Or(_) => BoolOp::Or,
+            BoolLang::Xor(_) => BoolOp::Xor,
+            BoolLang::Xor3(_) => BoolOp::Xor3,
+            BoolLang::Maj(_) => BoolOp::Maj,
+            BoolLang::Fa(_) => BoolOp::Fa,
+            BoolLang::Fst(_) => BoolOp::Fst,
+            BoolLang::Snd(_) => BoolOp::Snd,
+        }
+    }
+
+    fn children(&self) -> &[Id] {
+        match self {
+            BoolLang::Const(_) | BoolLang::Var(_) => &[],
+            BoolLang::Not(c) | BoolLang::Fst(c) | BoolLang::Snd(c) => std::slice::from_ref(c),
+            BoolLang::And(c) | BoolLang::Or(c) | BoolLang::Xor(c) => c,
+            BoolLang::Xor3(c) | BoolLang::Maj(c) | BoolLang::Fa(c) => c,
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            BoolLang::Const(_) | BoolLang::Var(_) => &mut [],
+            BoolLang::Not(c) | BoolLang::Fst(c) | BoolLang::Snd(c) => std::slice::from_mut(c),
+            BoolLang::And(c) | BoolLang::Or(c) | BoolLang::Xor(c) => c,
+            BoolLang::Xor3(c) | BoolLang::Maj(c) | BoolLang::Fa(c) => c,
+        }
+    }
+}
+
+impl fmt::Display for BoolLang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolLang::Const(b) => write!(f, "{b}"),
+            BoolLang::Var(s) => write!(f, "{s}"),
+            BoolLang::Not(_) => write!(f, "!"),
+            BoolLang::And(_) => write!(f, "&"),
+            BoolLang::Or(_) => write!(f, "|"),
+            BoolLang::Xor(_) => write!(f, "^"),
+            BoolLang::Xor3(_) => write!(f, "^3"),
+            BoolLang::Maj(_) => write!(f, "maj"),
+            BoolLang::Fa(_) => write!(f, "fa"),
+            BoolLang::Fst(_) => write!(f, "fst"),
+            BoolLang::Snd(_) => write!(f, "snd"),
+        }
+    }
+}
+
+impl FromOp for BoolLang {
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, FromOpError> {
+        let arity = children.len();
+        let c1 = |c: &[Id]| c[0];
+        let c2 = |c: &[Id]| [c[0], c[1]];
+        let c3 = |c: &[Id]| [c[0], c[1], c[2]];
+        match (op, arity) {
+            ("true", 0) => Ok(BoolLang::Const(true)),
+            ("false", 0) => Ok(BoolLang::Const(false)),
+            ("!", 1) => Ok(BoolLang::Not(c1(&children))),
+            ("&", 2) => Ok(BoolLang::And(c2(&children))),
+            ("|", 2) => Ok(BoolLang::Or(c2(&children))),
+            ("^", 2) => Ok(BoolLang::Xor(c2(&children))),
+            ("^3", 3) => Ok(BoolLang::Xor3(c3(&children))),
+            ("maj", 3) => Ok(BoolLang::Maj(c3(&children))),
+            ("fa", 3) => Ok(BoolLang::Fa(c3(&children))),
+            ("fst", 1) => Ok(BoolLang::Fst(c1(&children))),
+            ("snd", 1) => Ok(BoolLang::Snd(c1(&children))),
+            (name, 0)
+                if !name.is_empty()
+                    && !name.starts_with('?')
+                    && name.chars().all(|c| c.is_alphanumeric() || c == '_') =>
+            {
+                Ok(BoolLang::var(name))
+            }
+            _ => Err(FromOpError::new(op, arity)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph::RecExpr;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [
+            "(& a b)",
+            "(| (! a) (^ b c))",
+            "(^3 a b c)",
+            "(maj a b c)",
+            "(snd (fa a b c))",
+            "true",
+            "(& x0 false)",
+        ] {
+            let e: RecExpr<BoolLang> = s.parse().unwrap();
+            assert_eq!(e.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        assert!("(& a)".parse::<RecExpr<BoolLang>>().is_err());
+        assert!("(! a b)".parse::<RecExpr<BoolLang>>().is_err());
+        assert!("(maj a b)".parse::<RecExpr<BoolLang>>().is_err());
+    }
+
+    #[test]
+    fn symmetric_classification() {
+        let e: RecExpr<BoolLang> = "(maj a b c)".parse().unwrap();
+        assert!(e.as_slice().last().unwrap().is_symmetric());
+        let e: RecExpr<BoolLang> = "(! a)".parse().unwrap();
+        assert!(!e.as_slice().last().unwrap().is_symmetric());
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-output full-adder pairing (Section IV-B, Figure 3).
+//!
+//! After saturation, XOR3 and MAJ e-nodes with the exact same inputs
+//! are paired: an `fa` node over the shared inputs is inserted, and the
+//! pseudo-operations `fst`/`snd` project its carry and sum, which are
+//! unified with the MAJ and XOR3 e-classes respectively. Extraction
+//! then treats `fa`/`fst`/`snd` atomically.
+
+use std::collections::HashMap;
+
+use egraph::{EGraph, Id};
+
+use crate::BoolLang;
+
+/// Statistics from FA pairing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Number of `fa` nodes inserted (distinct input triples that had
+    /// both an XOR3 and a MAJ signal).
+    pub fa_inserted: usize,
+    /// XOR3-bearing input triples found.
+    pub xor3_triples: usize,
+    /// MAJ-bearing input triples found.
+    pub maj_triples: usize,
+}
+
+/// Pairs XOR3/MAJ e-nodes with identical input triples into `fa`
+/// nodes. Returns pairing statistics.
+///
+/// Triples with repeated inputs are skipped (degenerate adders).
+pub fn pair_full_adders(egraph: &mut EGraph<BoolLang>) -> PairStats {
+    // sorted child triple -> classes containing xor3 / maj over it
+    let mut xors: HashMap<[Id; 3], Vec<Id>> = HashMap::new();
+    let mut majs: HashMap<[Id; 3], Vec<Id>> = HashMap::new();
+    for class in egraph.classes() {
+        for node in class.iter() {
+            let (map, children) = match node {
+                BoolLang::Xor3(c) => (&mut xors, c),
+                BoolLang::Maj(c) => (&mut majs, c),
+                _ => continue,
+            };
+            let mut key = [
+                egraph.find(children[0]),
+                egraph.find(children[1]),
+                egraph.find(children[2]),
+            ];
+            key.sort_unstable();
+            if key[0] == key[1] || key[1] == key[2] {
+                continue; // degenerate
+            }
+            let classes = map.entry(key).or_default();
+            if !classes.contains(&class.id) {
+                classes.push(class.id);
+            }
+        }
+    }
+    let stats = PairStats {
+        fa_inserted: 0,
+        xor3_triples: xors.len(),
+        maj_triples: majs.len(),
+    };
+    let mut stats = stats;
+    let mut pairs: Vec<([Id; 3], Vec<Id>, Vec<Id>)> = xors
+        .iter()
+        .filter_map(|(key, xc)| majs.get(key).map(|mc| (*key, xc.clone(), mc.clone())))
+        .collect();
+    pairs.sort_by_key(|(key, ..)| *key);
+    // De Morgan mirror dedup: (a, b, c) and (!a, !b, !c) describe the
+    // same physical full adder (the mirrored XOR3/MAJ are the
+    // complements of the originals); keep only the lexicographically
+    // smaller triple, otherwise the FA-maximizing extraction would
+    // materialize and count both.
+    let pairable: std::collections::HashSet<[Id; 3]> =
+        pairs.iter().map(|(key, ..)| *key).collect();
+    pairs.retain(|(key, ..)| {
+        let negated: Option<Vec<Id>> = key
+            .iter()
+            .map(|&c| egraph.lookup(&BoolLang::Not(c)))
+            .collect();
+        match negated {
+            Some(neg) => {
+                let mut neg_key = [neg[0], neg[1], neg[2]];
+                neg_key.sort_unstable();
+                !(pairable.contains(&neg_key) && neg_key < *key)
+            }
+            None => true,
+        }
+    });
+    for (key, xor_classes, maj_classes) in pairs {
+        let fa = egraph.add(BoolLang::Fa(key));
+        let fst = egraph.add(BoolLang::Fst(fa));
+        let snd = egraph.add(BoolLang::Snd(fa));
+        // XOR3 and MAJ are symmetric, so any classes holding them over
+        // the same input multiset are functionally equal; unifying them
+        // through the projections is sound.
+        for xc in &xor_classes {
+            egraph.union(snd, *xc);
+        }
+        for mc in &maj_classes {
+            egraph.union(fst, *mc);
+        }
+        stats.fa_inserted += 1;
+    }
+    egraph.rebuild();
+    stats
+}
+
+/// Returns the canonical ids of all `fa` tuple classes in the e-graph.
+pub fn fa_classes(egraph: &EGraph<BoolLang>) -> Vec<Id> {
+    let mut out = Vec::new();
+    for class in egraph.classes() {
+        if class.iter().any(|n| matches!(n, BoolLang::Fa(_))) {
+            out.push(class.id);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph::RecExpr;
+
+    #[test]
+    fn pairs_matching_xor_maj() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        let x: RecExpr<BoolLang> = "(^3 p q r)".parse().unwrap();
+        let m: RecExpr<BoolLang> = "(maj p q r)".parse().unwrap();
+        let xid = eg.add_expr(&x);
+        let mid = eg.add_expr(&m);
+        eg.rebuild();
+        let stats = pair_full_adders(&mut eg);
+        assert_eq!(stats.fa_inserted, 1);
+        // fst(fa) == maj class; snd(fa) == xor class.
+        let fa_expr: RecExpr<BoolLang> = "(fa p q r)".parse().unwrap();
+        let fa = eg.lookup_expr(&fa_expr).expect("fa node inserted");
+        let fst = eg.lookup(&BoolLang::Fst(fa)).unwrap();
+        let snd = eg.lookup(&BoolLang::Snd(fa)).unwrap();
+        assert_eq!(eg.find(fst), eg.find(mid));
+        assert_eq!(eg.find(snd), eg.find(xid));
+        assert_eq!(fa_classes(&eg).len(), 1);
+    }
+
+    #[test]
+    fn no_pair_without_matching_inputs() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        eg.add_expr(&"(^3 p q r)".parse().unwrap());
+        eg.add_expr(&"(maj p q s)".parse().unwrap());
+        eg.rebuild();
+        let stats = pair_full_adders(&mut eg);
+        assert_eq!(stats.fa_inserted, 0);
+        assert_eq!(stats.xor3_triples, 1);
+        assert_eq!(stats.maj_triples, 1);
+    }
+
+    #[test]
+    fn commuted_operands_still_pair() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        eg.add_expr(&"(^3 p q r)".parse().unwrap());
+        eg.add_expr(&"(maj r q p)".parse().unwrap());
+        eg.rebuild();
+        let stats = pair_full_adders(&mut eg);
+        assert_eq!(stats.fa_inserted, 1);
+    }
+
+    #[test]
+    fn degenerate_triples_skipped() {
+        let mut eg: EGraph<BoolLang> = EGraph::default();
+        eg.add_expr(&"(^3 p p r)".parse().unwrap());
+        eg.add_expr(&"(maj p p r)".parse().unwrap());
+        eg.rebuild();
+        let stats = pair_full_adders(&mut eg);
+        assert_eq!(stats.fa_inserted, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The end-to-end BoolE pipeline (Figure 2): parse → e-graph →
+//! two-phase saturation → FA pairing → DAG extraction → AIG
+//! reconstruction.
+
+use std::time::{Duration, Instant};
+
+use aig::Aig;
+
+use crate::convert::aig_to_egraph;
+use crate::extract::extract_dag;
+use crate::pair::{pair_full_adders, PairStats};
+pub use crate::reconstruct::RecoveredFa;
+use crate::reconstruct::reconstruct_aig;
+use crate::saturate::{saturate, SaturateParams, SaturationStats};
+
+/// Configuration of a [`BoolE`] run.
+#[derive(Debug, Clone, Default)]
+pub struct BooleParams {
+    /// Saturation configuration (iterations, limits, pruning).
+    pub saturate: SaturateParams,
+}
+
+impl BooleParams {
+    /// Parameters tuned for large benchmarks: lightweight `R1` and a
+    /// tighter node budget (the paper's scalability configuration).
+    pub fn lightweight() -> Self {
+        BooleParams {
+            saturate: SaturateParams {
+                lightweight: true,
+                ..SaturateParams::default()
+            },
+        }
+    }
+
+    /// A small configuration for unit tests and tiny netlists.
+    pub fn small() -> Self {
+        BooleParams {
+            saturate: SaturateParams::small(),
+        }
+    }
+}
+
+/// The result of a BoolE run.
+#[derive(Debug)]
+pub struct BooleResult {
+    /// The reconstructed netlist with explicit adder-tree structure.
+    pub reconstructed: Aig,
+    /// The recovered full adders (exact by construction: each pairs an
+    /// XOR3 and MAJ over the same e-class signals), as literals of the
+    /// *reconstructed* netlist.
+    pub fas: Vec<RecoveredFa>,
+    /// Recovered full adders whose five signals all exist in the
+    /// *input* netlist, expressed as its literals — the form
+    /// verification backends consume (they rewrite the original
+    /// netlist, with BoolE's blocks eliminating the vanishing
+    /// monomials).
+    pub original_fas: Vec<RecoveredFa>,
+    /// Saturation statistics.
+    pub saturation: SaturationStats,
+    /// FA pairing statistics.
+    pub pairing: PairStats,
+    /// End-to-end wall-clock time.
+    pub runtime: Duration,
+}
+
+impl BooleResult {
+    /// Number of exact FAs recovered (distinct `fa` nodes extracted).
+    pub fn exact_fa_count(&self) -> usize {
+        self.fas.len()
+    }
+}
+
+/// The BoolE exact symbolic reasoning engine.
+///
+/// ```
+/// use boole::{BoolE, BooleParams};
+/// let aig = aig::gen::csa_multiplier(3);
+/// let result = BoolE::new(BooleParams::default()).run(&aig);
+/// // Pre-mapping, the full adder tree is recovered completely.
+/// assert_eq!(result.exact_fa_count(), aig::gen::csa_fa_upper_bound(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BoolE {
+    params: BooleParams,
+}
+
+impl BoolE {
+    /// Creates an engine with the given parameters.
+    pub fn new(params: BooleParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs the full pipeline on a netlist.
+    pub fn run(&self, netlist: &Aig) -> BooleResult {
+        let start = Instant::now();
+        let net = aig_to_egraph(netlist);
+        let (mut net, saturation) = saturate(net, &self.params.saturate);
+        let pairing = pair_full_adders(&mut net.egraph);
+        let extraction = extract_dag(&net.egraph);
+        let original_fas = map_fas_to_original(&net);
+        let (reconstructed, fas) =
+            reconstruct_aig(&net.egraph, &extraction, netlist.num_inputs(), &net.outputs);
+        BooleResult {
+            reconstructed,
+            fas,
+            original_fas,
+            saturation,
+            pairing,
+            runtime: start.elapsed(),
+        }
+    }
+}
+
+/// Maps every paired FA whose input/sum/carry e-classes correspond to
+/// signals of the original netlist back onto original literals.
+///
+/// Soundness: e-class membership proves the original literal computes
+/// exactly the FA signal, so each returned block satisfies
+/// `sum = a⊕b⊕c`, `carry = maj(a,b,c)` over real netlist wires.
+fn map_fas_to_original(net: &crate::convert::NetlistEGraph) -> Vec<RecoveredFa> {
+    use crate::BoolLang;
+    use std::collections::HashMap;
+
+    let egraph = &net.egraph;
+    // Reverse map: canonical e-class -> original literal (first /
+    // topologically earliest wins; complements via explicit Not
+    // lookups).
+    let mut rm: HashMap<egraph::Id, aig::Lit> = HashMap::new();
+    for (var_idx, &class) in net.vmap.iter().enumerate() {
+        let lit = aig::Var(var_idx as u32).lit();
+        let canon = egraph.find(class);
+        rm.entry(canon).or_insert(lit);
+        if let Some(neg) = egraph.lookup(&BoolLang::Not(canon)) {
+            rm.entry(egraph.find(neg)).or_insert(!lit);
+        }
+    }
+
+    let mut out = Vec::new();
+    for fa_class in crate::pair::fa_classes(egraph) {
+        let Some(BoolLang::Fa([a, b, c])) = egraph
+            .eclass(fa_class)
+            .iter()
+            .find(|n| matches!(n, BoolLang::Fa(_)))
+            .cloned()
+        else {
+            continue;
+        };
+        let sum_class = egraph.lookup(&BoolLang::Snd(fa_class));
+        let carry_class = egraph.lookup(&BoolLang::Fst(fa_class));
+        let signals = [
+            rm.get(&egraph.find(a)).copied(),
+            rm.get(&egraph.find(b)).copied(),
+            rm.get(&egraph.find(c)).copied(),
+            sum_class.and_then(|s| rm.get(&egraph.find(s)).copied()),
+            carry_class.and_then(|s| rm.get(&egraph.find(s)).copied()),
+        ];
+        if let [Some(la), Some(lb), Some(lc), Some(sum), Some(carry)] = signals {
+            out.push(RecoveredFa {
+                inputs: [la, lb, lc],
+                sum,
+                carry,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::{csa_fa_upper_bound, csa_multiplier};
+    use aig::sim::random_equiv_check;
+
+    #[test]
+    fn recovers_all_fas_pre_mapping() {
+        for n in [3usize, 4] {
+            let aig = csa_multiplier(n);
+            let result = BoolE::new(BooleParams::small()).run(&aig);
+            assert_eq!(
+                result.exact_fa_count(),
+                csa_fa_upper_bound(n),
+                "pre-mapping exact FAs for n={n}"
+            );
+            assert!(
+                random_equiv_check(&aig, &result.reconstructed, 8, 0xE9),
+                "reconstruction must preserve function (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_fas_post_mapping() {
+        let aig = csa_multiplier(3);
+        let mapped = aig::map::map_round_trip(&aig);
+        let result = BoolE::new(BooleParams::small()).run(&mapped);
+        assert!(
+            result.exact_fa_count() >= 1,
+            "post-mapping recovery, got {}",
+            result.exact_fa_count()
+        );
+        assert!(random_equiv_check(&mapped, &result.reconstructed, 8, 0xEA));
+    }
+
+    #[test]
+    fn lightweight_params_work() {
+        let aig = csa_multiplier(3);
+        let params = BooleParams {
+            saturate: SaturateParams {
+                lightweight: true,
+                ..SaturateParams::small()
+            },
+        };
+        let result = BoolE::new(params).run(&aig);
+        assert_eq!(result.exact_fa_count(), csa_fa_upper_bound(3));
+    }
+}

@@ -1,0 +1,209 @@
+//! A tiny pattern-expression builder used to generate and
+//! de-duplicate the harvested `R2` rule patterns.
+
+use std::collections::HashMap;
+
+/// A pattern expression over numbered variables (0 = `?a`, 1 = `?b`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatExpr {
+    /// Variable by index.
+    V(usize),
+    /// Negation.
+    Not(Box<PatExpr>),
+    /// Conjunction.
+    And(Box<PatExpr>, Box<PatExpr>),
+    /// Disjunction.
+    Or(Box<PatExpr>, Box<PatExpr>),
+    /// 2-input XOR.
+    Xor(Box<PatExpr>, Box<PatExpr>),
+    /// 3-input XOR.
+    Xor3(Box<PatExpr>, Box<PatExpr>, Box<PatExpr>),
+    /// 3-input majority.
+    Maj(Box<PatExpr>, Box<PatExpr>, Box<PatExpr>),
+}
+
+/// Shorthand constructors.
+pub fn v(i: usize) -> PatExpr {
+    PatExpr::V(i)
+}
+/// Negation.
+pub fn not(e: PatExpr) -> PatExpr {
+    PatExpr::Not(Box::new(e))
+}
+/// Conjunction.
+pub fn and(a: PatExpr, b: PatExpr) -> PatExpr {
+    PatExpr::And(Box::new(a), Box::new(b))
+}
+/// Disjunction.
+pub fn or(a: PatExpr, b: PatExpr) -> PatExpr {
+    PatExpr::Or(Box::new(a), Box::new(b))
+}
+/// 2-input XOR.
+pub fn xor(a: PatExpr, b: PatExpr) -> PatExpr {
+    PatExpr::Xor(Box::new(a), Box::new(b))
+}
+/// 3-input XOR.
+pub fn xor3(a: PatExpr, b: PatExpr, c: PatExpr) -> PatExpr {
+    PatExpr::Xor3(Box::new(a), Box::new(b), Box::new(c))
+}
+/// 3-input majority.
+pub fn maj(a: PatExpr, b: PatExpr, c: PatExpr) -> PatExpr {
+    PatExpr::Maj(Box::new(a), Box::new(b), Box::new(c))
+}
+
+impl PatExpr {
+    /// Renders as a pattern s-expression (`?a`, `?b`, …).
+    pub fn render(&self) -> String {
+        match self {
+            PatExpr::V(i) => format!("?{}", (b'a' + *i as u8) as char),
+            PatExpr::Not(e) => format!("(! {})", e.render()),
+            PatExpr::And(a, b) => format!("(& {} {})", a.render(), b.render()),
+            PatExpr::Or(a, b) => format!("(| {} {})", a.render(), b.render()),
+            PatExpr::Xor(a, b) => format!("(^ {} {})", a.render(), b.render()),
+            PatExpr::Xor3(a, b, c) => {
+                format!("(^3 {} {} {})", a.render(), b.render(), c.render())
+            }
+            PatExpr::Maj(a, b, c) => {
+                format!("(maj {} {} {})", a.render(), b.render(), c.render())
+            }
+        }
+    }
+
+    /// Applies a variable substitution `i -> perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> PatExpr {
+        match self {
+            PatExpr::V(i) => PatExpr::V(perm[*i]),
+            PatExpr::Not(e) => not(e.permute(perm)),
+            PatExpr::And(a, b) => and(a.permute(perm), b.permute(perm)),
+            PatExpr::Or(a, b) => or(a.permute(perm), b.permute(perm)),
+            PatExpr::Xor(a, b) => xor(a.permute(perm), b.permute(perm)),
+            PatExpr::Xor3(a, b, c) => xor3(a.permute(perm), b.permute(perm), c.permute(perm)),
+            PatExpr::Maj(a, b, c) => maj(a.permute(perm), b.permute(perm), c.permute(perm)),
+        }
+    }
+
+    /// Renames variables by first occurrence (0, 1, 2 …) so that
+    /// permuted copies of symmetric patterns collapse to one canonical
+    /// form — the paper's "eliminated duplicate rules" step.
+    pub fn canonicalize(&self) -> PatExpr {
+        let mut rename: HashMap<usize, usize> = HashMap::new();
+        self.canon_rec(&mut rename)
+    }
+
+    fn canon_rec(&self, rename: &mut HashMap<usize, usize>) -> PatExpr {
+        match self {
+            PatExpr::V(i) => {
+                let next = rename.len();
+                PatExpr::V(*rename.entry(*i).or_insert(next))
+            }
+            PatExpr::Not(e) => not(e.canon_rec(rename)),
+            PatExpr::And(a, b) => {
+                let a = a.canon_rec(rename);
+                let b = b.canon_rec(rename);
+                and(a, b)
+            }
+            PatExpr::Or(a, b) => {
+                let a = a.canon_rec(rename);
+                let b = b.canon_rec(rename);
+                or(a, b)
+            }
+            PatExpr::Xor(a, b) => {
+                let a = a.canon_rec(rename);
+                let b = b.canon_rec(rename);
+                xor(a, b)
+            }
+            PatExpr::Xor3(a, b, c) => {
+                let a = a.canon_rec(rename);
+                let b = b.canon_rec(rename);
+                let c = c.canon_rec(rename);
+                xor3(a, b, c)
+            }
+            PatExpr::Maj(a, b, c) => {
+                let a = a.canon_rec(rename);
+                let b = b.canon_rec(rename);
+                let c = c.canon_rec(rename);
+                maj(a, b, c)
+            }
+        }
+    }
+
+    /// Evaluates under an assignment (variable `i` = bit `i`).
+    pub fn eval(&self, assignment: u32) -> bool {
+        match self {
+            PatExpr::V(i) => (assignment >> i) & 1 == 1,
+            PatExpr::Not(e) => !e.eval(assignment),
+            PatExpr::And(a, b) => a.eval(assignment) & b.eval(assignment),
+            PatExpr::Or(a, b) => a.eval(assignment) | b.eval(assignment),
+            PatExpr::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
+            PatExpr::Xor3(a, b, c) => {
+                a.eval(assignment) ^ b.eval(assignment) ^ c.eval(assignment)
+            }
+            PatExpr::Maj(a, b, c) => {
+                let (x, y, z) = (a.eval(assignment), b.eval(assignment), c.eval(assignment));
+                (x & y) | (x & z) | (y & z)
+            }
+        }
+    }
+}
+
+/// All permutations of `{0, 1, 2}`.
+pub fn perms3() -> [[usize; 3]; 6] {
+    [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ]
+}
+
+/// Instantiates `template` over all 3-variable permutations,
+/// canonicalizes, and de-duplicates (preserving generation order).
+pub fn permuted_variants(template: &PatExpr) -> Vec<PatExpr> {
+    let mut out: Vec<PatExpr> = Vec::new();
+    for perm in perms3() {
+        let cand = template.permute(&perm).canonicalize();
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_eval() {
+        let e = or(and(v(0), v(1)), not(v(2)));
+        assert_eq!(e.render(), "(| (& ?a ?b) (! ?c))");
+        assert!(e.eval(0b011));
+        assert!(e.eval(0b000)); // !c with c=0
+        assert!(!e.eval(0b100));
+    }
+
+    #[test]
+    fn canonicalize_renames_by_first_occurrence() {
+        let e = and(v(2), v(0));
+        assert_eq!(e.canonicalize().render(), "(& ?a ?b)");
+    }
+
+    #[test]
+    fn symmetric_template_collapses() {
+        // maj SOP is fully symmetric only modulo operand order, so
+        // permuted variants give more than one but fewer than six forms.
+        let sop = or(or(and(v(0), v(1)), and(v(0), v(2))), and(v(1), v(2)));
+        let variants = permuted_variants(&sop);
+        assert!(!variants.is_empty());
+        assert!(variants.len() <= 6);
+        // All variants compute majority.
+        for var in &variants {
+            for a in 0..8 {
+                let bits = (a & 1) + ((a >> 1) & 1) + ((a >> 2) & 1);
+                assert_eq!(var.eval(a), bits >= 2);
+            }
+        }
+    }
+}

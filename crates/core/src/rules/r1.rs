@@ -1,0 +1,152 @@
+//! `R1`: the 68 basic Boolean rewriting rules.
+
+use super::RuleSpec;
+
+/// The full `R1` table: 68 rules spanning commutativity,
+/// associativity, negation/De Morgan, distributivity, absorption,
+/// constants, XOR identities and definitions, and mux/consensus
+/// simplifications.
+pub fn table() -> Vec<RuleSpec> {
+    let rules: &[(&str, &str, &str)] = &[
+        // --- commutativity (3)
+        ("comm-and", "(& ?a ?b)", "(& ?b ?a)"),
+        ("comm-or", "(| ?a ?b)", "(| ?b ?a)"),
+        ("comm-xor", "(^ ?a ?b)", "(^ ?b ?a)"),
+        // --- associativity (6)
+        ("assoc-and", "(& (& ?a ?b) ?c)", "(& ?a (& ?b ?c))"),
+        ("assoc-and-rev", "(& ?a (& ?b ?c))", "(& (& ?a ?b) ?c)"),
+        ("assoc-or", "(| (| ?a ?b) ?c)", "(| ?a (| ?b ?c))"),
+        ("assoc-or-rev", "(| ?a (| ?b ?c))", "(| (| ?a ?b) ?c)"),
+        ("assoc-xor", "(^ (^ ?a ?b) ?c)", "(^ ?a (^ ?b ?c))"),
+        ("assoc-xor-rev", "(^ ?a (^ ?b ?c))", "(^ (^ ?a ?b) ?c)"),
+        // --- negation / De Morgan (5)
+        ("double-neg", "(! (! ?a))", "?a"),
+        ("demorgan-and", "(! (& ?a ?b))", "(| (! ?a) (! ?b))"),
+        ("demorgan-or", "(! (| ?a ?b))", "(& (! ?a) (! ?b))"),
+        ("demorgan-and-rev", "(| (! ?a) (! ?b))", "(! (& ?a ?b))"),
+        ("demorgan-or-rev", "(& (! ?a) (! ?b))", "(! (| ?a ?b))"),
+        // --- distributivity / factoring (4)
+        ("dist-and-or", "(& ?a (| ?b ?c))", "(| (& ?a ?b) (& ?a ?c))"),
+        ("factor-and-or", "(| (& ?a ?b) (& ?a ?c))", "(& ?a (| ?b ?c))"),
+        ("dist-or-and", "(| ?a (& ?b ?c))", "(& (| ?a ?b) (| ?a ?c))"),
+        ("factor-or-and", "(& (| ?a ?b) (| ?a ?c))", "(| ?a (& ?b ?c))"),
+        // --- absorption (6)
+        ("absorb-and", "(& ?a (| ?a ?b))", "?a"),
+        ("absorb-or", "(| ?a (& ?a ?b))", "?a"),
+        ("absorb-and-neg", "(& ?a (| (! ?a) ?b))", "(& ?a ?b)"),
+        ("absorb-or-neg", "(| ?a (& (! ?a) ?b))", "(| ?a ?b)"),
+        ("absorb-dup-and", "(& ?a (& ?a ?b))", "(& ?a ?b)"),
+        ("absorb-dup-or", "(| ?a (| ?a ?b))", "(| ?a ?b)"),
+        // --- idempotence / complement (4)
+        ("idemp-and", "(& ?a ?a)", "?a"),
+        ("idemp-or", "(| ?a ?a)", "?a"),
+        ("contra-and", "(& ?a (! ?a))", "false"),
+        ("taut-or", "(| ?a (! ?a))", "true"),
+        // --- constants (6)
+        ("and-true", "(& ?a true)", "?a"),
+        ("and-false", "(& ?a false)", "false"),
+        ("or-false", "(| ?a false)", "?a"),
+        ("or-true", "(| ?a true)", "true"),
+        ("not-true", "(! true)", "false"),
+        ("not-false", "(! false)", "true"),
+        // --- XOR identities (7)
+        ("xor-self", "(^ ?a ?a)", "false"),
+        ("xor-not-self", "(^ ?a (! ?a))", "true"),
+        ("xor-false", "(^ ?a false)", "?a"),
+        ("xor-true", "(^ ?a true)", "(! ?a)"),
+        ("xor-not-l", "(^ (! ?a) ?b)", "(! (^ ?a ?b))"),
+        ("xor-not-r", "(^ ?a (! ?b))", "(! (^ ?a ?b))"),
+        ("not-push-xor", "(! (^ ?a ?b))", "(^ (! ?a) ?b)"),
+        // --- XOR definitions and recognitions (8)
+        (
+            "xor-def-sop",
+            "(^ ?a ?b)",
+            "(| (& ?a (! ?b)) (& (! ?a) ?b))",
+        ),
+        (
+            "xor-rec-sop",
+            "(| (& ?a (! ?b)) (& (! ?a) ?b))",
+            "(^ ?a ?b)",
+        ),
+        ("xor-def-aoi", "(^ ?a ?b)", "(& (| ?a ?b) (! (& ?a ?b)))"),
+        ("xor-rec-aoi", "(& (| ?a ?b) (! (& ?a ?b)))", "(^ ?a ?b)"),
+        (
+            "xor-rec-oai",
+            "(& (| ?a ?b) (| (! ?a) (! ?b)))",
+            "(^ ?a ?b)",
+        ),
+        (
+            "xnor-rec-sop",
+            "(| (& ?a ?b) (& (! ?a) (! ?b)))",
+            "(! (^ ?a ?b))",
+        ),
+        (
+            "xnor-rec-aoi",
+            "(| (& ?a ?b) (! (| ?a ?b)))",
+            "(! (^ ?a ?b))",
+        ),
+        (
+            "xor-rec-nand",
+            "(! (& (! (& ?a (! ?b))) (! (& (! ?a) ?b))))",
+            "(^ ?a ?b)",
+        ),
+        // --- XOR algebra (5)
+        ("xor-cancel", "(^ ?a (^ ?a ?b))", "?b"),
+        (
+            "xor-dist-and",
+            "(& ?a (^ ?b ?c))",
+            "(^ (& ?a ?b) (& ?a ?c))",
+        ),
+        (
+            "xor-factor-and",
+            "(^ (& ?a ?b) (& ?a ?c))",
+            "(& ?a (^ ?b ?c))",
+        ),
+        // NOTE: `a|b => a^b^(ab)` is deliberately absent: it plants
+        // degenerate XOR3 triples like xor3(a, b, a&b) in every OR
+        // class, which the FA-maximizing extraction would then "count"
+        // as full adders.
+        ("xor-or-absorb", "(| ?a (^ ?a ?b))", "(| ?a ?b)"),
+        ("xor-and-shrink", "(^ ?a (| ?a ?b))", "(& (! ?a) ?b)"),
+        // --- mux / consensus (6)
+        ("mux-same-sel", "(| (& ?s ?a) (& (! ?s) ?a))", "?a"),
+        ("mux-taut-or", "(| (& ?a ?b) (& ?a (! ?b)))", "?a"),
+        ("mux-taut-and", "(& (| ?a ?b) (| ?a (! ?b)))", "?a"),
+        (
+            "consensus-del",
+            "(| (| (& ?a ?b) (& (! ?a) ?c)) (& ?b ?c))",
+            "(| (& ?a ?b) (& (! ?a) ?c))",
+        ),
+        (
+            "consensus-add",
+            "(| (& ?a ?b) (& (! ?a) ?c))",
+            "(| (| (& ?a ?b) (& (! ?a) ?c)) (& ?b ?c))",
+        ),
+        ("and-xor-absorb", "(& ?a (^ ?a ?b))", "(& ?a (! ?b))"),
+        // --- dualities and wider De Morgan (8)
+        ("nand-nor-duality", "(! (& (! ?a) (! ?b)))", "(| ?a ?b)"),
+        ("nor-nand-duality", "(! (| (! ?a) (! ?b)))", "(& ?a ?b)"),
+        ("or-and-subsume", "(| (& ?a ?b) ?b)", "?b"),
+        ("and-or-subsume", "(& (| ?a ?b) ?b)", "?b"),
+        ("xor-swap-not", "(^ (! ?a) (! ?b))", "(^ ?a ?b)"),
+        (
+            "xnor-to-eq",
+            "(! (^ ?a ?b))",
+            "(| (& ?a ?b) (& (! ?a) (! ?b)))",
+        ),
+        (
+            "and-demorgan-3",
+            "(! (& (& ?a ?b) ?c))",
+            "(| (| (! ?a) (! ?b)) (! ?c))",
+        ),
+        (
+            "or-demorgan-3",
+            "(! (| (| ?a ?b) ?c))",
+            "(& (& (! ?a) (! ?b)) (! ?c))",
+        ),
+    ];
+    rules
+        .iter()
+        .map(|(n, l, r)| ((*n).to_owned(), (*l).to_owned(), (*r).to_owned()))
+        .collect()
+}

@@ -1,0 +1,508 @@
+//! `R2`: the XOR/MAJ identification rules, generated from the
+//! structural template families that adder cones exhibit in
+//! pre-mapping, optimized, and technology-mapped netlists — mirroring
+//! the paper's harvesting methodology (Section IV-A2) — then
+//! canonically de-duplicated and curated to the paper's counts
+//! (39 MAJ + 90 XOR).
+//!
+//! Every candidate's right-hand side is *derived from its truth table*
+//! (XOR3/¬XOR3/MAJ/¬MAJ/XOR2/¬XOR2), so the generator is sound by
+//! construction; the test suite re-verifies independently.
+
+use super::gen::{and, maj, not, or, v, xor, xor3, PatExpr};
+use super::RuleSpec;
+
+/// The target function a harvested pattern must compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Xor3,
+    NotXor3,
+    Maj3,
+    NotMaj3,
+    Xor2,
+    NotXor2,
+}
+
+fn classify(e: &PatExpr) -> Option<Target> {
+    let tt: Vec<bool> = (0..8).map(|i| e.eval(i)).collect();
+    let xor3_tt: Vec<bool> = (0..8u32)
+        .map(|i| (i.count_ones() % 2) == 1)
+        .collect();
+    let maj_tt: Vec<bool> = (0..8u32).map(|i| i.count_ones() >= 2).collect();
+    let xor2_tt: Vec<bool> = (0..8u32)
+        .map(|i| ((i & 1) ^ ((i >> 1) & 1)) == 1)
+        .collect();
+    let neg = |t: &[bool]| t.iter().map(|b| !b).collect::<Vec<bool>>();
+    if tt == xor3_tt {
+        Some(Target::Xor3)
+    } else if tt == neg(&xor3_tt) {
+        Some(Target::NotXor3)
+    } else if tt == maj_tt {
+        Some(Target::Maj3)
+    } else if tt == neg(&maj_tt) {
+        Some(Target::NotMaj3)
+    } else if tt == xor2_tt {
+        Some(Target::Xor2)
+    } else if tt == neg(&xor2_tt) {
+        Some(Target::NotXor2)
+    } else {
+        None
+    }
+}
+
+fn rhs_for(target: Target) -> &'static str {
+    match target {
+        Target::Xor3 => "(^3 ?a ?b ?c)",
+        Target::NotXor3 => "(! (^3 ?a ?b ?c))",
+        Target::Maj3 => "(maj ?a ?b ?c)",
+        Target::NotMaj3 => "(! (maj ?a ?b ?c))",
+        Target::Xor2 => "(^ ?a ?b)",
+        Target::NotXor2 => "(! (^ ?a ?b))",
+    }
+}
+
+/// Curates candidates: canonicalize, drop duplicates and non-target
+/// functions, derive the rhs from the truth table, and cut to `target`
+/// rules.
+///
+/// # Panics
+///
+/// Panics if a candidate computes none of the target functions (a
+/// generator bug) or fewer than `count` distinct rules were generated.
+fn curate(prefix: &str, candidates: Vec<PatExpr>, count: usize) -> Vec<RuleSpec> {
+    let mut seen: Vec<PatExpr> = Vec::new();
+    let mut out: Vec<RuleSpec> = Vec::new();
+    for cand in candidates {
+        let canon = cand.canonicalize();
+        if seen.contains(&canon) {
+            continue;
+        }
+        let target = classify(&canon).unwrap_or_else(|| {
+            panic!("candidate {} is not a target function", canon.render())
+        });
+        seen.push(canon.clone());
+        out.push((
+            format!("{prefix}-{:02}", out.len()),
+            canon.render(),
+            rhs_for(target).to_owned(),
+        ));
+        if out.len() == count {
+            break;
+        }
+    }
+    assert!(
+        out.len() == count,
+        "generated only {} of {count} {prefix} rules",
+        out.len()
+    );
+    out
+}
+
+/// XNOR as an AND of NANDs — the shape AIG netlists exhibit *before*
+/// any `|` nodes exist (harvested from mapped benchmarks).
+fn xnor_nand(a: PatExpr, b: PatExpr) -> PatExpr {
+    and(
+        not(and(not(a.clone()), b.clone())),
+        not(and(a, not(b))),
+    )
+}
+
+/// XOR as an AND of NANDs (`!(¬a·¬b) · !(a·b)`), similarly NAND-only.
+fn xor_nand(a: PatExpr, b: PatExpr) -> PatExpr {
+    and(
+        not(and(not(a.clone()), not(b.clone()))),
+        not(and(a, b)),
+    )
+}
+
+/// The structural forms of 2-input XOR harvested from mapped/optimized
+/// netlists (SOP, AOI, OAI, NAND–NAND, negated XNOR shapes).
+fn xor2_forms(a: PatExpr, b: PatExpr) -> Vec<PatExpr> {
+    vec![
+        xor(a.clone(), b.clone()),
+        xor_nand(a.clone(), b.clone()),
+        not(xnor_nand(a.clone(), b.clone())),
+        or(
+            and(a.clone(), not(b.clone())),
+            and(not(a.clone()), b.clone()),
+        ),
+        and(or(a.clone(), b.clone()), not(and(a.clone(), b.clone()))),
+        and(
+            or(a.clone(), b.clone()),
+            or(not(a.clone()), not(b.clone())),
+        ),
+        not(and(
+            not(and(a.clone(), not(b.clone()))),
+            not(and(not(a.clone()), b.clone())),
+        )),
+        not(or(
+            and(a.clone(), b.clone()),
+            and(not(a.clone()), not(b.clone())),
+        )),
+        not(or(and(a.clone(), b.clone()), not(or(a.clone(), b.clone())))),
+        and(not(and(a.clone(), b.clone())), or(a, b)),
+    ]
+}
+
+/// The structural forms of 2-input XNOR.
+fn xnor2_forms(a: PatExpr, b: PatExpr) -> Vec<PatExpr> {
+    vec![
+        not(xor(a.clone(), b.clone())),
+        xnor_nand(a.clone(), b.clone()),
+        not(xor_nand(a.clone(), b.clone())),
+        or(
+            and(a.clone(), b.clone()),
+            and(not(a.clone()), not(b.clone())),
+        ),
+        or(and(a.clone(), b.clone()), not(or(a.clone(), b.clone()))),
+        and(
+            or(not(a.clone()), b.clone()),
+            or(a.clone(), not(b.clone())),
+        ),
+        not(and(or(a.clone(), b.clone()), not(and(a, b)))),
+    ]
+}
+
+/// The 39 MAJ identification rules.
+pub fn maj_table() -> Vec<RuleSpec> {
+    let (a, b, c) = (v(0), v(1), v(2));
+    let ab = || and(a.clone(), b.clone());
+    let ac = || and(a.clone(), c.clone());
+    let bc = || and(b.clone(), c.clone());
+    let mut cands: Vec<PatExpr> = vec![
+        // NAND-only forms harvested from mapped/dch benchmarks (these
+        // fire before R1 has introduced any `|` nodes, so they carry
+        // most of the post-mapping recovery).
+        // (bc | a)(b | c) as AND of NANDs.
+        and(
+            not(and(not(bc()), not(a.clone()))),
+            not(and(not(b.clone()), not(c.clone()))),
+        ),
+        and(
+            not(and(not(a.clone()), not(bc()))),
+            not(and(not(b.clone()), not(c.clone()))),
+        ),
+        // ¬MAJ as a NOR of products (two associations, two orders).
+        and(not(bc()), and(not(ab()), not(ac()))),
+        and(not(ab()), and(not(ac()), not(bc()))),
+        and(and(not(ab()), not(ac())), not(bc())),
+        // MAJ as POS over NANDs of negations.
+        and(
+            not(and(not(a.clone()), not(b.clone()))),
+            and(
+                not(and(not(a.clone()), not(c.clone()))),
+                not(and(not(b.clone()), not(c.clone()))),
+            ),
+        ),
+        // Carry in NAND form with an XOR-shaped propagate.
+        not(and(
+            not(ab()),
+            not(and(xor_nand(a.clone(), b.clone()), c.clone())),
+        )),
+        not(and(
+            not(ab()),
+            not(and(c.clone(), xor_nand(a.clone(), b.clone()))),
+        )),
+        // SOP associations.
+        or(or(ab(), ac()), bc()),
+        or(ab(), or(ac(), bc())),
+        // Factored carry forms.
+        or(ab(), and(c.clone(), or(a.clone(), b.clone()))),
+        or(ab(), and(c.clone(), xor(a.clone(), b.clone()))),
+        and(or(a.clone(), b.clone()), or(c.clone(), ab())),
+        // The paper's NAND–NAND example form.
+        and(
+            not(and(not(a.clone()), not(bc()))),
+            not(and(not(b.clone()), not(c.clone()))),
+        ),
+        // AOI carry (the classic ripple-carry shape).
+        or(and(a.clone(), or(b.clone(), c.clone())), bc()),
+        not(and(
+            not(and(a.clone(), or(b.clone(), c.clone()))),
+            not(bc()),
+        )),
+        // Shannon / mux on one input.
+        or(
+            and(a.clone(), or(b.clone(), c.clone())),
+            and(not(a.clone()), bc()),
+        ),
+        // Minority (¬MAJ) SOP and its complement form.
+        or(
+            or(
+                and(not(a.clone()), not(b.clone())),
+                and(not(a.clone()), not(c.clone())),
+            ),
+            and(not(b.clone()), not(c.clone())),
+        ),
+        not(or(
+            or(
+                and(not(a.clone()), not(b.clone())),
+                and(not(a.clone()), not(c.clone())),
+            ),
+            and(not(b.clone()), not(c.clone())),
+        )),
+        // De-Morganed SOP (NAND–NAND–NAND).
+        not(and(and(not(ab()), not(ac())), not(bc()))),
+        not(and(not(ab()), and(not(ac()), not(bc())))),
+        // Generate–propagate with plain OR.
+        and(or(a.clone(), b.clone()), or(ab(), c.clone())),
+        // OAI dual of the factored form.
+        not(and(not(ab()), not(and(c.clone(), or(a.clone(), b.clone()))))),
+        // Negated-input normalization.
+        maj(not(a.clone()), not(b.clone()), not(c.clone())),
+        // POS form and variants.
+        and(
+            and(or(a.clone(), b.clone()), or(a.clone(), c.clone())),
+            or(b.clone(), c.clone()),
+        ),
+        and(
+            or(a.clone(), b.clone()),
+            and(or(a.clone(), c.clone()), or(b.clone(), c.clone())),
+        ),
+        not(or(
+            or(not(or(a.clone(), b.clone())), not(or(a.clone(), c.clone()))),
+            not(or(b.clone(), c.clone())),
+        )),
+        // Minority right-assoc.
+        or(
+            and(not(a.clone()), not(b.clone())),
+            or(
+                and(not(a.clone()), not(c.clone())),
+                and(not(b.clone()), not(c.clone())),
+            ),
+        ),
+        // Partially De-Morganed SOPs.
+        or(not(and(not(ab()), not(ac()))), bc()),
+        or(ab(), not(and(not(ac()), not(bc())))),
+    ];
+    // Carry-with-XOR family: ab | (xor_form(a,b) & c), over every
+    // harvested XOR shape — the shapes mapped netlists produce.
+    for form in xor2_forms(a.clone(), b.clone()).into_iter().skip(1) {
+        cands.push(or(ab(), and(form, c.clone())));
+    }
+    // AOI carry with XOR-shaped propagate: (a & xor_form(b,c)) | bc.
+    for form in xor2_forms(b.clone(), c.clone()).into_iter().take(4) {
+        cands.push(or(and(a.clone(), form), bc()));
+    }
+    // Mux-Shannon with De-Morganed arms.
+    cands.push(or(
+        and(
+            a.clone(),
+            not(and(not(b.clone()), not(c.clone()))),
+        ),
+        and(not(a.clone()), bc()),
+    ));
+    cands.push(or(
+        and(a.clone(), or(b.clone(), c.clone())),
+        and(not(a.clone()), not(or(not(b.clone()), not(c.clone())))),
+    ));
+    cands.push(or(
+        and(
+            a.clone(),
+            not(and(not(b.clone()), not(c.clone()))),
+        ),
+        and(not(a.clone()), not(or(not(b.clone()), not(c.clone())))),
+    ));
+    // Operand-swapped harvested variants (mapped netlists present both
+    // orders before R1's commutativity has propagated).
+    cands.push(or(and(xor(a.clone(), b.clone()), c.clone()), ab()));
+    cands.push(and(
+        or(a.clone(), and(b.clone(), c.clone())),
+        or(b.clone(), c.clone()),
+    ));
+    cands.push(or(
+        and(not(a.clone()), bc()),
+        and(a.clone(), or(b.clone(), c.clone())),
+    ));
+    cands.push(not(or(
+        not(or(a.clone(), b.clone())),
+        not(and(or(a.clone(), c.clone()), or(b.clone(), c.clone()))),
+    )));
+    cands.push(or(and(or(a.clone(), b.clone()), c.clone()), ab()));
+    curate("maj", cands, 39)
+}
+
+/// The 90 XOR identification rules.
+pub fn xor_table() -> Vec<RuleSpec> {
+    let (a, b, c) = (v(0), v(1), v(2));
+    let mut cands: Vec<PatExpr> = Vec::new();
+
+    // NAND-ladder compositions harvested from mapped/dch benchmarks:
+    // the outer level is XNOR/XOR-of-(inner, c) in AND-of-NANDs form,
+    // the inner level an XOR/XNOR of (a, b) in NAND-only form. These
+    // are the dominant post-mapping sum shapes.
+    for inner in [
+        xnor_nand(a.clone(), b.clone()),
+        xor_nand(a.clone(), b.clone()),
+    ] {
+        cands.push(xnor_nand(inner.clone(), c.clone()));
+        cands.push(xnor_nand(c.clone(), inner.clone()));
+        cands.push(xor_nand(inner.clone(), c.clone()));
+        cands.push(not(xnor_nand(inner.clone(), c.clone())));
+        cands.push(not(xor_nand(inner, c.clone())));
+    }
+
+    // XOR3 assembly chains (plain, single/double/triple negation).
+    cands.push(xor(xor(a.clone(), b.clone()), c.clone()));
+    cands.push(xor(a.clone(), xor(b.clone(), c.clone())));
+    for neg_pos in 0..3 {
+        let lits = |i: usize| {
+            let base = [a.clone(), b.clone(), c.clone()][i].clone();
+            if i == neg_pos {
+                not(base)
+            } else {
+                base
+            }
+        };
+        cands.push(xor(xor(lits(0), lits(1)), lits(2)));
+        cands.push(xor(lits(0), xor(lits(1), lits(2))));
+    }
+    for negs in [[0, 1], [0, 2], [1, 2]] {
+        let lits = |i: usize| {
+            let base = [a.clone(), b.clone(), c.clone()][i].clone();
+            if negs.contains(&i) {
+                not(base)
+            } else {
+                base
+            }
+        };
+        cands.push(xor(xor(lits(0), lits(1)), lits(2)));
+        cands.push(xor(lits(0), xor(lits(1), lits(2))));
+    }
+    cands.push(xor(
+        xor(not(a.clone()), not(b.clone())),
+        not(c.clone()),
+    ));
+    // XNOR-of-XNOR compositions.
+    cands.push(xor(not(xor(a.clone(), b.clone())), c.clone()));
+    cands.push(xor(a.clone(), not(xor(b.clone(), c.clone()))));
+    cands.push(not(xor(not(xor(a.clone(), b.clone())), c.clone())));
+    cands.push(not(xor(a.clone(), not(xor(b.clone(), c.clone())))));
+
+    // Negated-input XOR3 normalizations.
+    cands.push(xor3(not(a.clone()), b.clone(), c.clone()));
+    cands.push(xor3(a.clone(), not(b.clone()), c.clone()));
+    cands.push(xor3(a.clone(), b.clone(), not(c.clone())));
+    cands.push(xor3(not(a.clone()), not(b.clone()), c.clone()));
+    cands.push(xor3(not(a.clone()), b.clone(), not(c.clone())));
+    cands.push(xor3(a.clone(), not(b.clone()), not(c.clone())));
+    cands.push(xor3(not(a.clone()), not(b.clone()), not(c.clone())));
+
+    // Sum chains where the inner XOR2 appears in a harvested shape.
+    for form in xor2_forms(a.clone(), b.clone()).into_iter().skip(1) {
+        cands.push(xor(form, c.clone()));
+    }
+    for form in xor2_forms(b.clone(), c.clone()).into_iter().skip(1) {
+        cands.push(xor(a.clone(), form));
+    }
+
+    // SOP-of-XOR: (X & !c) | (!X & c) with X in harvested shapes.
+    for form in xor2_forms(a.clone(), b.clone()) {
+        cands.push(or(
+            and(form.clone(), not(c.clone())),
+            and(not(form), c.clone()),
+        ));
+    }
+    // Mux forms with matched XOR/XNOR arm shapes.
+    let xs = xor2_forms(b.clone(), c.clone());
+    let ns = xnor2_forms(b.clone(), c.clone());
+    for (x, n) in xs.iter().zip(ns.iter()) {
+        cands.push(or(
+            and(a.clone(), n.clone()),
+            and(not(a.clone()), x.clone()),
+        ));
+        cands.push(or(
+            and(a.clone(), x.clone()),
+            and(not(a.clone()), n.clone()),
+        ));
+    }
+
+    // The paper's factored XOR3 example (Table I, second XOR rule).
+    cands.push(and(
+        or(
+            or(a.clone(), and(b.clone(), c.clone())),
+            not(or(b.clone(), c.clone())),
+        ),
+        or(
+            not(a.clone()),
+            and(
+                not(and(b.clone(), c.clone())),
+                or(b.clone(), c.clone()),
+            ),
+        ),
+    ));
+
+    // Plain 2-input XOR/XNOR recognitions in harvested shapes (the
+    // building blocks R2 needs before the chains apply).
+    let (p, q) = (v(0), v(1));
+    for form in xor2_forms(p.clone(), q.clone()).into_iter().skip(1) {
+        cands.push(form);
+    }
+    for form in xnor2_forms(p.clone(), q.clone()).into_iter().skip(1) {
+        cands.push(form);
+    }
+    // Mux-style XOR2: (p & !q) | (!p & q) is covered; add OAI/NAND
+    // mixed shapes.
+    cands.push(not(or(
+        and(p.clone(), q.clone()),
+        and(not(p.clone()), not(q.clone())),
+    )));
+    cands.push(and(
+        not(and(p.clone(), q.clone())),
+        not(and(not(p.clone()), not(q.clone()))),
+    ));
+    cands.push(not(and(
+        or(p.clone(), not(q.clone())),
+        or(not(p.clone()), q.clone()),
+    )));
+
+    // Full 4-minterm SOP trees of XOR3 (balanced and left-deep, over
+    // several minterm orders).
+    let minterm = |pa: bool, pb: bool, pc: bool| {
+        let lit = |e: &PatExpr, pos: bool| {
+            if pos {
+                e.clone()
+            } else {
+                not(e.clone())
+            }
+        };
+        and(and(lit(&a, pa), lit(&b, pb)), lit(&c, pc))
+    };
+    let odd = [
+        minterm(true, false, false),
+        minterm(false, true, false),
+        minterm(false, false, true),
+        minterm(true, true, true),
+    ];
+    let even = [
+        minterm(false, false, false),
+        minterm(true, true, false),
+        minterm(true, false, true),
+        minterm(false, true, true),
+    ];
+    let orders: [[usize; 4]; 6] = [
+        [0, 1, 2, 3],
+        [3, 0, 1, 2],
+        [0, 3, 1, 2],
+        [1, 0, 3, 2],
+        [2, 1, 0, 3],
+        [0, 2, 3, 1],
+    ];
+    for ms in [&odd, &even] {
+        for order in &orders {
+            let m: Vec<PatExpr> = order.iter().map(|&i| ms[i].clone()).collect();
+            // Balanced tree.
+            cands.push(or(
+                or(m[0].clone(), m[1].clone()),
+                or(m[2].clone(), m[3].clone()),
+            ));
+            // Left-deep tree.
+            cands.push(or(
+                or(or(m[0].clone(), m[1].clone()), m[2].clone()),
+                m[3].clone(),
+            ));
+        }
+    }
+
+    curate("xor", cands, 90)
+}

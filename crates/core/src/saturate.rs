@@ -1,0 +1,234 @@
+//! Two-phase incremental saturation (Section IV-A2) plus redundant
+//! e-node pruning.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use egraph::{BackoffScheduler, EGraph, Id, Language, Runner, StopReason};
+
+use crate::convert::NetlistEGraph;
+use crate::rules;
+use crate::BoolLang;
+
+/// Parameters for [`saturate`].
+#[derive(Debug, Clone)]
+pub struct SaturateParams {
+    /// Iterations of the basic ruleset `R1` (paper default: 10).
+    pub r1_iters: usize,
+    /// Iterations of the identification ruleset `R2` (paper default: 3).
+    pub r2_iters: usize,
+    /// E-node limit for the `R2` phase (the overall cap).
+    pub node_limit: usize,
+    /// Growth factor limiting the `R1` expansion phase: `R1` may grow
+    /// the e-graph to at most `r1_growth ×` its initial node count
+    /// (still capped by `node_limit`). Keeping `R1` compact leaves the
+    /// identification phase `R2` room to work — `R2` dominates
+    /// reasoning quality (paper RQ1).
+    pub r1_growth: f64,
+    /// Wall-clock limit across both phases (`R1` gets a quarter).
+    pub time_limit: Duration,
+    /// Use the lightweight `R1` subset (for large benchmarks).
+    pub lightweight: bool,
+    /// Backoff scheduler match limit.
+    pub match_limit: usize,
+    /// Prune redundant (commuted-duplicate) e-nodes after saturation.
+    pub prune: bool,
+}
+
+impl Default for SaturateParams {
+    fn default() -> Self {
+        Self {
+            r1_iters: 10,
+            r2_iters: 3,
+            node_limit: 100_000,
+            r1_growth: 12.0,
+            time_limit: Duration::from_secs(60),
+            lightweight: false,
+            match_limit: 2_000,
+            prune: true,
+        }
+    }
+}
+
+impl SaturateParams {
+    /// A small configuration for unit tests and tiny netlists.
+    pub fn small() -> Self {
+        Self {
+            node_limit: 20_000,
+            time_limit: Duration::from_secs(10),
+            match_limit: 500,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics from a saturation run.
+#[derive(Debug, Clone)]
+pub struct SaturationStats {
+    /// E-nodes after the `R1` phase.
+    pub nodes_after_r1: usize,
+    /// E-nodes after the `R2` phase.
+    pub nodes_after_r2: usize,
+    /// E-classes after both phases.
+    pub classes: usize,
+    /// Why the `R1` phase stopped.
+    pub r1_stop: StopReason,
+    /// Why the `R2` phase stopped.
+    pub r2_stop: StopReason,
+    /// `R1` iterations actually run.
+    pub r1_iterations: usize,
+    /// `R2` iterations actually run.
+    pub r2_iterations: usize,
+    /// Redundant e-nodes pruned.
+    pub pruned: usize,
+}
+
+/// Runs BoolE's two-phase saturation on a netlist e-graph: first `R1`
+/// expands the e-graph with equivalent Boolean forms, then `R2`
+/// identifies XOR/MAJ structures on top of it; finally, redundant
+/// commuted duplicates are pruned (Section IV-A2, optimizations 1–3).
+pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, SaturationStats) {
+    let r1 = if params.lightweight {
+        rules::r1_lightweight_rules()
+    } else {
+        rules::r1_rules()
+    };
+    let r2 = rules::r2_rules();
+
+    let initial_nodes = net.egraph.total_number_of_nodes();
+    let r1_node_limit = ((initial_nodes as f64 * params.r1_growth) as usize)
+        .max(2_000)
+        .min(params.node_limit);
+    let runner1 = Runner::new(())
+        .with_egraph(net.egraph)
+        .with_iter_limit(params.r1_iters)
+        .with_node_limit(r1_node_limit)
+        .with_time_limit(params.time_limit / 4)
+        .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
+        .run(&r1);
+    let nodes_after_r1 = runner1.egraph.total_number_of_nodes();
+    let r1_stop = runner1.stop_reason.clone().expect("phase 1 ran");
+    let r1_iterations = runner1.iterations.len();
+
+    let runner2 = Runner::new(())
+        .with_egraph(runner1.egraph)
+        .with_iter_limit(params.r2_iters)
+        .with_node_limit(params.node_limit)
+        .with_time_limit(params.time_limit * 3 / 4)
+        .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
+        .run(&r2);
+    let mut egraph = runner2.egraph;
+    let nodes_after_r2 = egraph.total_number_of_nodes();
+    let r2_stop = runner2.stop_reason.clone().expect("phase 2 ran");
+    let r2_iterations = runner2.iterations.len();
+
+    let pruned = if params.prune {
+        prune_redundant(&mut egraph)
+    } else {
+        0
+    };
+
+    let stats = SaturationStats {
+        nodes_after_r1,
+        nodes_after_r2,
+        classes: egraph.num_classes(),
+        r1_stop,
+        r2_stop,
+        r1_iterations,
+        r2_iterations,
+        pruned,
+    };
+    (
+        NetlistEGraph {
+            egraph,
+            inputs: net.inputs,
+            outputs: net.outputs,
+            vmap: net.vmap,
+        },
+        stats,
+    )
+}
+
+/// Deletes commuted duplicates of symmetric operators: within each
+/// e-class, among nodes with the same operator and the same child
+/// multiset, only one representative is kept (the paper's third
+/// optimization: `XOR(a,b,c)` and `XOR(b,a,c)` need not coexist).
+pub fn prune_redundant(egraph: &mut EGraph<BoolLang>) -> usize {
+    // Collect the representatives to keep.
+    let mut keep: HashSet<(Id, BoolLang)> = HashSet::new();
+    for class in egraph.classes() {
+        let mut seen: HashSet<(std::mem::Discriminant<BoolLang>, Vec<Id>)> = HashSet::new();
+        for node in class.iter() {
+            if node.is_symmetric() {
+                let mut key: Vec<Id> = node.children().to_vec();
+                key.sort_unstable();
+                if seen.insert((std::mem::discriminant(node), key)) {
+                    keep.insert((class.id, node.clone()));
+                }
+            } else {
+                keep.insert((class.id, node.clone()));
+            }
+        }
+    }
+    egraph.retain_nodes(|class, node| keep.contains(&(class.id, node.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::aig_to_egraph;
+    use egraph::RecExpr;
+
+    fn fa_netlist() -> aig::Aig {
+        let mut a = aig::Aig::new();
+        let x = a.add_input();
+        let y = a.add_input();
+        let z = a.add_input();
+        let (s, c) = aig::gen::full_adder(&mut a, x, y, z);
+        a.add_output("s", s);
+        a.add_output("c", c);
+        a
+    }
+
+    #[test]
+    fn saturation_discovers_xor3_and_maj() {
+        let net = aig_to_egraph(&fa_netlist());
+        let (net, stats) = saturate(net, &SaturateParams::small());
+        assert!(stats.nodes_after_r2 >= stats.nodes_after_r1);
+        // The sum output class must now contain (^3 i0 i1 i2) and the
+        // carry class (maj i0 i1 i2).
+        let sum_expr: RecExpr<BoolLang> = "(^3 i0 i1 i2)".parse().unwrap();
+        let maj_expr: RecExpr<BoolLang> = "(maj i0 i1 i2)".parse().unwrap();
+        let sum = net.egraph.lookup_expr(&sum_expr).expect("xor3 identified");
+        let maj = net.egraph.lookup_expr(&maj_expr).expect("maj identified");
+        assert_eq!(net.egraph.find(sum), net.egraph.find(net.outputs[0].1));
+        assert_eq!(net.egraph.find(maj), net.egraph.find(net.outputs[1].1));
+    }
+
+    #[test]
+    fn pruning_reduces_nodes() {
+        let net = aig_to_egraph(&fa_netlist());
+        let params = SaturateParams {
+            prune: false,
+            ..SaturateParams::small()
+        };
+        let (net, _) = saturate(net, &params);
+        let mut egraph = net.egraph;
+        let before = egraph.total_number_of_nodes();
+        let pruned = prune_redundant(&mut egraph);
+        assert_eq!(egraph.total_number_of_nodes(), before - pruned);
+        egraph.check_invariants();
+    }
+
+    #[test]
+    fn lightweight_params_still_identify() {
+        let net = aig_to_egraph(&fa_netlist());
+        let params = SaturateParams {
+            lightweight: true,
+            ..SaturateParams::small()
+        };
+        let (net, _) = saturate(net, &params);
+        let maj_expr: RecExpr<BoolLang> = "(maj i0 i1 i2)".parse().unwrap();
+        assert!(net.egraph.lookup_expr(&maj_expr).is_some());
+    }
+}

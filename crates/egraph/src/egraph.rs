@@ -1,0 +1,566 @@
+//! The [`EGraph`] data structure.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Analysis, Id, Language, RecExpr, UnionFind};
+
+/// An equivalence class of e-nodes.
+#[derive(Debug, Clone)]
+pub struct EClass<L, D> {
+    /// The canonical id of this class at the time of the last rebuild.
+    pub id: Id,
+    /// The e-nodes in this class (canonicalized on rebuild).
+    pub nodes: Vec<L>,
+    /// Parent e-nodes (and the class they live in) that reference this
+    /// class; used for congruence repair. Entries may be stale between
+    /// rebuilds.
+    pub(crate) parents: Vec<(L, Id)>,
+    /// The analysis data for this class.
+    pub data: D,
+}
+
+impl<L: Language, D> EClass<L, D> {
+    /// Number of e-nodes in the class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the class has no e-nodes (never happens for a
+    /// live class).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the e-nodes in this class.
+    pub fn iter(&self) -> std::slice::Iter<'_, L> {
+        self.nodes.iter()
+    }
+}
+
+/// An e-graph: a congruence-closed union of term DAGs.
+///
+/// The implementation follows `egg`'s design: hash-consing via `memo`,
+/// a [`UnionFind`] over class ids, and *deferred* congruence repair —
+/// [`EGraph::union`] only records work, and [`EGraph::rebuild`] restores
+/// the congruence invariant. Search operations require a clean e-graph.
+///
+/// ```
+/// use egraph::{EGraph, SymbolLang};
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// let a = eg.add(SymbolLang::leaf("a"));
+/// let b = eg.add(SymbolLang::leaf("b"));
+/// let fa = eg.add(SymbolLang::new("f", vec![a]));
+/// let fb = eg.add(SymbolLang::new("f", vec![b]));
+/// eg.union(a, b);
+/// eg.rebuild();
+/// assert_eq!(eg.find(fa), eg.find(fb)); // congruence
+/// ```
+pub struct EGraph<L: Language, N: Analysis<L> = ()> {
+    /// The analysis (user state).
+    pub analysis: N,
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: Vec<Option<EClass<L, N::Data>>>,
+    /// Parents that need congruence re-processing.
+    pending: Vec<(L, Id)>,
+    analysis_pending: Vec<(L, Id)>,
+    /// Classes containing at least one e-node with a given operator;
+    /// rebuilt by [`EGraph::rebuild`] and used to speed up searches.
+    by_op: HashMap<L::Discriminant, Vec<Id>>,
+    clean: bool,
+    n_unions: usize,
+}
+
+impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
+    fn default() -> Self {
+        Self::new(N::default())
+    }
+}
+
+impl<L: Language, N: Analysis<L> + Clone> Clone for EGraph<L, N>
+where
+    N::Data: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            analysis: self.analysis.clone(),
+            unionfind: self.unionfind.clone(),
+            memo: self.memo.clone(),
+            classes: self.classes.clone(),
+            pending: self.pending.clone(),
+            analysis_pending: self.analysis_pending.clone(),
+            by_op: self.by_op.clone(),
+            clean: self.clean,
+            n_unions: self.n_unions,
+        }
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for EGraph<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EGraph")
+            .field("classes", &self.num_classes())
+            .field("nodes", &self.total_number_of_nodes())
+            .field("clean", &self.clean)
+            .finish()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> EGraph<L, N> {
+    /// Creates an empty e-graph with the given analysis.
+    pub fn new(analysis: N) -> Self {
+        Self {
+            analysis,
+            unionfind: UnionFind::default(),
+            memo: HashMap::default(),
+            classes: Vec::new(),
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            by_op: HashMap::default(),
+            clean: true,
+            n_unions: 0,
+        }
+    }
+
+    /// The classes containing at least one e-node with `op`'s
+    /// discriminant (valid on a clean e-graph).
+    pub fn classes_with_op(&self, op: &L::Discriminant) -> &[Id] {
+        self.by_op.get(op).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of live e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total number of e-nodes across all classes.
+    pub fn total_number_of_nodes(&self) -> usize {
+        self.classes().map(|c| c.len()).sum()
+    }
+
+    /// Total number of unions performed so far.
+    pub fn number_of_unions(&self) -> usize {
+        self.n_unions
+    }
+
+    /// Returns `true` if the congruence invariant holds (no pending
+    /// work).
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// Finds the canonical id of `id`.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Finds the canonical id of `id`, compressing union-find paths.
+    pub fn find_mut(&mut self, id: Id) -> Id {
+        self.unionfind.find_mut(id)
+    }
+
+    /// Iterates over the live e-classes.
+    pub fn classes(&self) -> impl ExactSizeIterator<Item = &EClass<L, N::Data>> {
+        ClassIter {
+            inner: self.classes.iter(),
+            remaining: self.classes.iter().filter(|c| c.is_some()).count(),
+        }
+    }
+
+    /// Returns the e-class of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid id for this e-graph.
+    pub fn eclass(&self, id: Id) -> &EClass<L, N::Data> {
+        let id = self.find(id);
+        self.classes[id.index()]
+            .as_ref()
+            .expect("canonical id must have a class")
+    }
+
+    /// Mutable access to the e-class of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid id for this e-graph.
+    pub fn eclass_mut(&mut self, id: Id) -> &mut EClass<L, N::Data> {
+        let id = self.find_mut(id);
+        self.classes[id.index()]
+            .as_mut()
+            .expect("canonical id must have a class")
+    }
+
+    /// Canonicalizes the children of `enode`.
+    pub fn canonicalize(&self, enode: &L) -> L {
+        enode.map_children(|c| self.find(c))
+    }
+
+    /// Looks up an e-node without inserting; returns its canonical class
+    /// if present.
+    pub fn lookup(&self, enode: &L) -> Option<Id> {
+        let enode = self.canonicalize(enode);
+        self.memo.get(&enode).map(|&id| self.find(id))
+    }
+
+    /// Looks up a whole expression without inserting.
+    pub fn lookup_expr(&self, expr: &RecExpr<L>) -> Option<Id> {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.iter() {
+            let node = node.map_children(|c| ids[c.index()]);
+            ids.push(self.lookup(&node)?);
+        }
+        ids.last().copied()
+    }
+
+    /// Adds an e-node, returning its (possibly pre-existing) class id.
+    pub fn add(&mut self, enode: L) -> Id {
+        let enode = self.canonicalize(&enode);
+        if let Some(&id) = self.memo.get(&enode) {
+            return self.find(id);
+        }
+        let id = self.unionfind.make_set();
+        debug_assert_eq!(id.index(), self.classes.len());
+        let data = N::make(self, &enode);
+        for &child in enode.children() {
+            let child = self.find(child);
+            let child_class = self.classes[child.index()]
+                .as_mut()
+                .expect("child class must exist");
+            child_class.parents.push((enode.clone(), id));
+        }
+        self.classes.push(Some(EClass {
+            id,
+            nodes: vec![enode.clone()],
+            parents: Vec::new(),
+            data,
+        }));
+        self.memo.insert(enode, id);
+        self.clean = false;
+        N::modify(self, id);
+        id
+    }
+
+    /// Adds a whole expression, returning the class of its root.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.iter() {
+            let node = node.map_children(|c| ids[c.index()]);
+            ids.push(self.add(node));
+        }
+        *ids.last().expect("cannot add an empty expression")
+    }
+
+    /// Unions two e-classes, returning the canonical id and whether
+    /// anything changed. Congruence is restored lazily by
+    /// [`EGraph::rebuild`].
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find_mut(a);
+        let b = self.find_mut(b);
+        if a == b {
+            return (a, false);
+        }
+        // Keep the class with more parents as the root to move less data.
+        let a_parents = self.classes[a.index()].as_ref().map_or(0, |c| c.parents.len());
+        let b_parents = self.classes[b.index()].as_ref().map_or(0, |c| c.parents.len());
+        let (to, from) = if a_parents >= b_parents { (a, b) } else { (b, a) };
+
+        self.unionfind.union_roots(to, from);
+        self.n_unions += 1;
+        self.clean = false;
+
+        let from_class = self.classes[from.index()]
+            .take()
+            .expect("from class must exist");
+        self.pending.extend(from_class.parents.iter().cloned());
+
+        let to_class = self.classes[to.index()]
+            .as_mut()
+            .expect("to class must exist");
+        to_class.id = to;
+        to_class.nodes.extend(from_class.nodes);
+        to_class.parents.extend(from_class.parents);
+
+        let did = self.analysis.merge(&mut to_class.data, from_class.data);
+        if did.0 {
+            // `to`'s data changed: re-make parents' data.
+            let parents = to_class.parents.clone();
+            self.analysis_pending.extend(parents);
+        }
+        N::modify(self, to);
+        (to, true)
+    }
+
+    /// Restores the congruence invariant, returning the number of
+    /// unions applied during repair.
+    pub fn rebuild(&mut self) -> usize {
+        let mut n_repairs = 0;
+        while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
+            while let Some((mut node, class)) = self.pending.pop() {
+                let class = self.find_mut(class);
+                node.update_children(|c| self.unionfind.find_mut(c));
+                if let Some(old) = self.memo.insert(node, class) {
+                    let (_, did) = self.union(old, class);
+                    n_repairs += usize::from(did);
+                }
+            }
+            while let Some((node, class)) = self.analysis_pending.pop() {
+                let class = self.find_mut(class);
+                let node = self.canonicalize(&node);
+                let data = N::make(self, &node);
+                let to_class = self.classes[class.index()]
+                    .as_mut()
+                    .expect("class must exist");
+                let did = self.analysis.merge(&mut to_class.data, data);
+                if did.0 {
+                    let parents = to_class.parents.clone();
+                    self.analysis_pending.extend(parents);
+                    N::modify(self, class);
+                }
+            }
+        }
+        self.rebuild_classes();
+        self.clean = true;
+        n_repairs
+    }
+
+    fn rebuild_classes(&mut self) {
+        // Canonicalize and dedup the node lists of every live class,
+        // and rebuild the operator index.
+        self.by_op.clear();
+        let ids: Vec<Id> = (0..self.classes.len())
+            .map(Id::from_index)
+            .filter(|id| self.classes[id.index()].is_some())
+            .collect();
+        for id in ids {
+            let mut nodes = std::mem::take(
+                &mut self.classes[id.index()]
+                    .as_mut()
+                    .expect("live class")
+                    .nodes,
+            );
+            for node in &mut nodes {
+                node.update_children(|c| self.unionfind.find_mut(c));
+            }
+            nodes.sort_unstable();
+            nodes.dedup();
+            for node in &nodes {
+                let entry = self.by_op.entry(node.discriminant()).or_default();
+                if entry.last() != Some(&id) {
+                    entry.push(id);
+                }
+            }
+            self.classes[id.index()].as_mut().expect("live class").nodes = nodes;
+        }
+    }
+
+    /// Removes e-nodes for which `keep` returns `false`.
+    ///
+    /// This implements BoolE's redundant e-node pruning: after
+    /// saturation, semantically duplicated e-nodes (e.g. commuted copies
+    /// of a symmetric operator) can be dropped to save memory without
+    /// affecting the equivalence relation. The e-graph must be clean.
+    /// E-nodes are never removed if they are the last node of their
+    /// class.
+    ///
+    /// Returns the number of removed e-nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is not clean (call [`EGraph::rebuild`]).
+    pub fn retain_nodes<F: FnMut(&EClass<L, N::Data>, &L) -> bool>(
+        &mut self,
+        mut keep: F,
+    ) -> usize {
+        assert!(self.clean, "retain_nodes requires a clean e-graph");
+        let mut removed = 0;
+        let ids: Vec<Id> = (0..self.classes.len())
+            .map(Id::from_index)
+            .filter(|id| self.classes[id.index()].is_some())
+            .collect();
+        for id in ids {
+            let class = self.classes[id.index()].take().expect("live class");
+            let mut kept: Vec<L> = Vec::with_capacity(class.nodes.len());
+            let mut dropped: Vec<L> = Vec::new();
+            for node in &class.nodes {
+                if keep(&class, node) {
+                    kept.push(node.clone());
+                } else {
+                    dropped.push(node.clone());
+                }
+            }
+            if kept.is_empty() {
+                // Never empty a class: keep the first node.
+                let first = dropped.remove(0);
+                kept.push(first);
+            }
+            removed += dropped.len();
+            for node in dropped {
+                self.memo.remove(&node);
+            }
+            self.classes[id.index()] = Some(EClass { nodes: kept, ..class });
+        }
+        removed
+    }
+
+    /// Checks internal invariants (memo canonicity, congruence); used by
+    /// tests. Cheap enough for debug assertions on small graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self) {
+        assert!(self.clean, "e-graph must be clean");
+        for class in self.classes() {
+            assert_eq!(class.id, self.find(class.id), "class id must be canonical");
+            for node in &class.nodes {
+                let canon = self.canonicalize(node);
+                assert_eq!(&canon, node, "class nodes must be canonical");
+                let memo_id = self
+                    .memo
+                    .get(&canon)
+                    .map(|&id| self.find(id))
+                    .unwrap_or_else(|| panic!("node {node:?} missing from memo"));
+                assert_eq!(
+                    memo_id,
+                    self.find(class.id),
+                    "memo must map node to its class"
+                );
+            }
+        }
+    }
+}
+
+struct ClassIter<'a, L, D> {
+    inner: std::slice::Iter<'a, Option<EClass<L, D>>>,
+    remaining: usize,
+}
+
+impl<'a, L, D> Iterator for ClassIter<'a, L, D> {
+    type Item = &'a EClass<L, D>;
+    fn next(&mut self) -> Option<Self::Item> {
+        for opt in self.inner.by_ref() {
+            if let Some(class) = opt {
+                self.remaining -= 1;
+                return Some(class);
+            }
+        }
+        None
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<L, D> ExactSizeIterator for ClassIter<'_, L, D> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    type EG = EGraph<SymbolLang, ()>;
+
+    #[test]
+    fn add_is_hash_consed() {
+        let mut eg = EG::default();
+        let a1 = eg.add(SymbolLang::leaf("a"));
+        let a2 = eg.add(SymbolLang::leaf("a"));
+        assert_eq!(a1, a2);
+        let f1 = eg.add(SymbolLang::new("f", vec![a1]));
+        let f2 = eg.add(SymbolLang::new("f", vec![a2]));
+        assert_eq!(f1, f2);
+        assert_eq!(eg.num_classes(), 2);
+    }
+
+    #[test]
+    fn union_and_congruence() {
+        let mut eg = EG::default();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        assert_ne!(eg.find(fa), eg.find(fb));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(fa), eg.find(fb));
+        eg.check_invariants();
+    }
+
+    #[test]
+    fn congruence_propagates_upward() {
+        let mut eg = EG::default();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        let gfa = eg.add(SymbolLang::new("g", vec![fa]));
+        let gfb = eg.add(SymbolLang::new("g", vec![fb]));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(gfa), eg.find(gfb));
+        eg.check_invariants();
+    }
+
+    #[test]
+    fn lookup_and_lookup_expr() {
+        let mut eg = EG::default();
+        let expr: RecExpr<SymbolLang> = "(f (g x) y)".parse().unwrap();
+        assert_eq!(eg.lookup_expr(&expr), None);
+        let id = eg.add_expr(&expr);
+        assert_eq!(eg.lookup_expr(&expr), Some(eg.find(id)));
+        let missing: RecExpr<SymbolLang> = "(f (g y) y)".parse().unwrap();
+        assert_eq!(eg.lookup_expr(&missing), None);
+    }
+
+    #[test]
+    fn union_counts() {
+        let mut eg = EG::default();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        let (_, did) = eg.union(a, b);
+        assert!(did);
+        let (_, did) = eg.union(a, b);
+        assert!(!did);
+        assert_eq!(eg.number_of_unions(), 1);
+    }
+
+    #[test]
+    fn retain_nodes_prunes_but_keeps_classes() {
+        let mut eg = EG::default();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        let ab = eg.add(SymbolLang::new("+", vec![a, b]));
+        let ba = eg.add(SymbolLang::new("+", vec![b, a]));
+        eg.union(ab, ba);
+        eg.rebuild();
+        let class_nodes = eg.eclass(ab).len();
+        assert_eq!(class_nodes, 2);
+        let removed = eg.retain_nodes(|_, node| node.children() != [b, a]);
+        assert_eq!(removed, 1);
+        assert_eq!(eg.eclass(ab).len(), 1);
+        // Lookup for the removed node now misses.
+        assert_eq!(eg.lookup(&SymbolLang::new("+", vec![b, a])), None);
+        assert!(eg.lookup(&SymbolLang::new("+", vec![a, b])).is_some());
+    }
+
+    #[test]
+    fn deep_chain_unions() {
+        // Chain f^n(a); union a with b and ensure the whole chain merges
+        // with f^n(b).
+        let mut eg = EG::default();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        let mut fa = a;
+        let mut fb = b;
+        for _ in 0..50 {
+            fa = eg.add(SymbolLang::new("f", vec![fa]));
+            fb = eg.add(SymbolLang::new("f", vec![fb]));
+        }
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(fa), eg.find(fb));
+        eg.check_invariants();
+    }
+}

@@ -1,0 +1,252 @@
+//! Cost-based extraction of a best term per e-class.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+
+/// A cost function over e-nodes.
+///
+/// `cost` receives the e-node and a callback giving the cost of each
+/// child *e-class*; tree-cost extraction then selects, per class, the
+/// node minimizing the total.
+pub trait CostFunction<L: Language> {
+    /// The cost type; must be totally ordered on the values produced.
+    type Cost: PartialOrd + Clone + fmt::Debug;
+
+    /// Computes the cost of `enode` given child-class costs.
+    fn cost<C>(&mut self, enode: &L, costs: C) -> Self::Cost
+    where
+        C: FnMut(Id) -> Self::Cost;
+}
+
+/// Counts AST nodes (smaller is better).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstSize;
+
+impl<L: Language> CostFunction<L> for AstSize {
+    type Cost = usize;
+    fn cost<C>(&mut self, enode: &L, mut costs: C) -> usize
+    where
+        C: FnMut(Id) -> usize,
+    {
+        enode
+            .children()
+            .iter()
+            .fold(1usize, |acc, &c| acc.saturating_add(costs(c)))
+    }
+}
+
+/// Measures AST depth (smaller is better).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstDepth;
+
+impl<L: Language> CostFunction<L> for AstDepth {
+    type Cost = usize;
+    fn cost<C>(&mut self, enode: &L, mut costs: C) -> usize
+    where
+        C: FnMut(Id) -> usize,
+    {
+        1 + enode
+            .children()
+            .iter()
+            .map(|&c| costs(c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Extracts the minimum-cost term of each e-class under a
+/// [`CostFunction`], via bottom-up fixpoint.
+///
+/// ```
+/// use egraph::{EGraph, Extractor, AstSize, SymbolLang, RecExpr};
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// let big = eg.add_expr(&"(+ x (* y 0))".parse().unwrap());
+/// let small = eg.add_expr(&"x".parse().unwrap());
+/// eg.union(big, small);
+/// eg.rebuild();
+/// let extractor = Extractor::new(&eg, AstSize);
+/// let (cost, best) = extractor.find_best(big);
+/// assert_eq!(cost, 1);
+/// assert_eq!(best.to_string(), "x");
+/// ```
+pub struct Extractor<'a, CF: CostFunction<L>, L: Language, N: Analysis<L>> {
+    egraph: &'a EGraph<L, N>,
+    cost_fn: CF,
+    costs: HashMap<Id, (CF::Cost, L)>,
+}
+
+impl<'a, CF: CostFunction<L>, L: Language, N: Analysis<L>> Extractor<'a, CF, L, N> {
+    /// Computes best costs for every e-class of `egraph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is not clean.
+    pub fn new(egraph: &'a EGraph<L, N>, cost_fn: CF) -> Self {
+        assert!(egraph.is_clean(), "extraction requires a clean e-graph");
+        let mut extractor = Self {
+            egraph,
+            cost_fn,
+            costs: HashMap::new(),
+        };
+        extractor.find_costs();
+        extractor
+    }
+
+    /// Returns the best (lowest-cost) e-node of `eclass` and its cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class contains no extractable term (e.g. all nodes
+    /// cyclic without a base case).
+    pub fn find_best_node(&self, eclass: Id) -> &L {
+        let id = self.egraph.find(eclass);
+        &self
+            .costs
+            .get(&id)
+            .unwrap_or_else(|| panic!("no extractable term for e-class {id}"))
+            .1
+    }
+
+    /// Returns the best cost and term rooted at `eclass`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class contains no extractable term.
+    pub fn find_best(&self, eclass: Id) -> (CF::Cost, RecExpr<L>) {
+        let id = self.egraph.find(eclass);
+        let cost = self
+            .costs
+            .get(&id)
+            .unwrap_or_else(|| panic!("no extractable term for e-class {id}"))
+            .0
+            .clone();
+        let expr = RecExpr::from_root_and_fn(id, |class| {
+            self.find_best_node(class)
+                .map_children(|c| self.egraph.find(c))
+        });
+        (cost, expr)
+    }
+
+    /// Returns the computed cost of an e-class, if extractable.
+    pub fn cost_of(&self, eclass: Id) -> Option<CF::Cost> {
+        self.costs
+            .get(&self.egraph.find(eclass))
+            .map(|(c, _)| c.clone())
+    }
+
+    fn node_total_cost(&mut self, enode: &L) -> Option<CF::Cost> {
+        // All children must already have costs.
+        let costs = &self.costs;
+        let egraph = self.egraph;
+        if enode
+            .children()
+            .iter()
+            .all(|&c| costs.contains_key(&egraph.find(c)))
+        {
+            Some(
+                self.cost_fn
+                    .cost(enode, |c| costs[&egraph.find(c)].0.clone()),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn find_costs(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in self.egraph.classes() {
+                let id = class.id;
+                let mut best: Option<(CF::Cost, L)> = self.costs.get(&id).cloned();
+                for node in class.iter() {
+                    if let Some(cost) = self.node_total_cost(node) {
+                        let better = match &best {
+                            None => true,
+                            Some((c, _)) => cost < *c,
+                        };
+                        if better {
+                            best = Some((cost, node.clone()));
+                            changed = true;
+                        }
+                    }
+                }
+                if let Some(b) = best {
+                    self.costs.insert(id, b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    type EG = EGraph<SymbolLang, ()>;
+
+    #[test]
+    fn ast_size_prefers_smaller() {
+        let mut eg = EG::default();
+        let a = eg.add_expr(&"(f (g x))".parse().unwrap());
+        let b = eg.add_expr(&"y".parse().unwrap());
+        eg.union(a, b);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(a);
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "y");
+    }
+
+    #[test]
+    fn ast_depth_prefers_shallow() {
+        let mut eg = EG::default();
+        let deep = eg.add_expr(&"(f (f (f x)))".parse().unwrap());
+        let wide = eg.add_expr(&"(g x x x x)".parse().unwrap());
+        eg.union(deep, wide);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstDepth);
+        let (cost, best) = ex.find_best(deep);
+        assert_eq!(cost, 2);
+        assert!(best.to_string().starts_with("(g"));
+    }
+
+    #[test]
+    fn extraction_handles_cycles() {
+        // x = f(x) union x = a: must pick the acyclic `a`.
+        let mut eg = EG::default();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let fx = eg.add(SymbolLang::new("f", vec![a]));
+        eg.union(a, fx);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(fx);
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
+    }
+
+    #[test]
+    fn extraction_shares_subterms() {
+        let mut eg = EG::default();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let g = eg.add(SymbolLang::new("g", vec![x]));
+        let f = eg.add(SymbolLang::new("f", vec![g, g]));
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (_, best) = ex.find_best(f);
+        // RecExpr shares the subterm g(x): 3 unique nodes.
+        assert_eq!(best.len(), 3);
+    }
+
+    #[test]
+    fn cost_of_missing_class_is_none_only_for_unextractable() {
+        let mut eg = EG::default();
+        let x = eg.add(SymbolLang::leaf("x"));
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        assert_eq!(ex.cost_of(x), Some(1));
+    }
+}

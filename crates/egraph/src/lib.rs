@@ -1,0 +1,113 @@
+//! A from-scratch equality saturation engine in the spirit of `egg`
+//! (Willsey et al., POPL 2021), built as the substrate for the BoolE
+//! reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`EGraph`] — an e-graph with hash-consing, a union-find over
+//!   e-classes, and deferred congruence-closure rebuilding.
+//! * [`Language`] — the trait describing the operators of a term
+//!   language, plus [`RecExpr`] for concrete terms.
+//! * [`Pattern`] — s-expression patterns with variables (`?x`) and a
+//!   backtracking e-matcher.
+//! * [`Rewrite`] / [`Runner`] — rewrite rules and a saturation driver
+//!   with iteration, node, and time limits plus backoff scheduling.
+//! * [`Extractor`] — cost-based term extraction with pluggable
+//!   [`CostFunction`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use egraph::{EGraph, RecExpr, Rewrite, Runner, SymbolLang, AstSize, Extractor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rules: Vec<Rewrite<SymbolLang, ()>> = vec![
+//!     Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)")?,
+//!     Rewrite::parse("add-zero", "(+ ?a 0)", "?a")?,
+//! ];
+//! let expr: RecExpr<SymbolLang> = "(+ 0 (+ x 0))".parse()?;
+//! let runner = Runner::default().with_expr(&expr).run(&rules);
+//! let extractor = Extractor::new(&runner.egraph, AstSize);
+//! let (cost, best) = extractor.find_best(runner.roots[0]);
+//! assert_eq!(cost, 1);
+//! assert_eq!(best.to_string(), "x");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod egraph;
+mod extract;
+mod language;
+mod pattern;
+mod recexpr;
+mod rewrite;
+mod runner;
+mod symbol;
+mod unionfind;
+
+pub use crate::egraph::{EClass, EGraph};
+pub use crate::extract::{AstDepth, AstSize, CostFunction, Extractor};
+pub use crate::language::{Analysis, DidMerge, FromOp, FromOpError, Language, SymbolLang};
+pub use crate::pattern::{
+    ENodeOrVar, ParsePatternError, Pattern, SearchMatches, Subst, Var, MATCH_WORK_BUDGET,
+    MAX_SUBSTS_PER_CLASS,
+};
+pub use crate::recexpr::{ParseRecExprError, RecExpr};
+pub use crate::rewrite::{Applier, Condition, ConditionalApplier, Rewrite};
+pub use crate::runner::{
+    BackoffScheduler, Iteration, Runner, RunnerLimits, SimpleScheduler, StopReason,
+};
+pub use crate::symbol::Symbol;
+pub use crate::unionfind::UnionFind;
+
+use std::fmt;
+
+/// An identifier for an e-class (or a node index inside a [`RecExpr`]).
+///
+/// `Id`s are small copyable handles; they are only meaningful relative to
+/// the [`EGraph`] or [`RecExpr`] that produced them.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(u32);
+
+impl Id {
+    /// Creates an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in 32 bits.
+    pub fn from_index(i: usize) -> Self {
+        assert!(i <= u32::MAX as usize, "e-graph id overflow");
+        Id(i as u32)
+    }
+
+    /// Returns the raw index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Id {
+    fn from(i: usize) -> Self {
+        Id::from_index(i)
+    }
+}
+
+impl From<Id> for usize {
+    fn from(id: Id) -> usize {
+        id.index()
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

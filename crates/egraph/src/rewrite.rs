@@ -1,0 +1,238 @@
+//! Rewrite rules: a searcher [`Pattern`] plus an [`Applier`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Analysis, EGraph, FromOp, Id, Language, ParsePatternError, Pattern, Subst, Symbol};
+
+/// The right-hand side of a [`Rewrite`]: given a match, mutate the
+/// e-graph (usually by instantiating a pattern and unioning).
+pub trait Applier<L: Language, N: Analysis<L>>: Send + Sync {
+    /// Applies the rule at one matched e-class under one substitution.
+    ///
+    /// Returns the ids that changed (used to count applications); an
+    /// empty vec means nothing changed.
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id>;
+
+    /// Describes the applier (for logs).
+    fn describe(&self) -> String {
+        "<applier>".to_owned()
+    }
+}
+
+impl<L: Language + Send + Sync, N: Analysis<L>> Applier<L, N> for Pattern<L>
+where
+    L::Discriminant: Send + Sync,
+{
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id> {
+        let new_id = self.instantiate(egraph, subst);
+        let (id, did) = egraph.union(eclass, new_id);
+        if did {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// A predicate deciding whether a matched substitution is eligible.
+pub trait Condition<L: Language, N: Analysis<L>>: Send + Sync {
+    /// Returns `true` if the rule may fire for this match.
+    fn check(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> bool;
+}
+
+impl<L, N, F> Condition<L, N> for F
+where
+    L: Language,
+    N: Analysis<L>,
+    F: Fn(&mut EGraph<L, N>, Id, &Subst) -> bool + Send + Sync,
+{
+    fn check(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> bool {
+        self(egraph, eclass, subst)
+    }
+}
+
+/// An [`Applier`] that fires only when a [`Condition`] holds.
+pub struct ConditionalApplier<L: Language, N: Analysis<L>> {
+    /// The condition to check before applying.
+    pub condition: Arc<dyn Condition<L, N>>,
+    /// The underlying applier.
+    pub applier: Arc<dyn Applier<L, N>>,
+}
+
+impl<L: Language, N: Analysis<L>> Applier<L, N> for ConditionalApplier<L, N> {
+    fn apply_one(&self, egraph: &mut EGraph<L, N>, eclass: Id, subst: &Subst) -> Vec<Id> {
+        if self.condition.check(egraph, eclass, subst) {
+            self.applier.apply_one(egraph, eclass, subst)
+        } else {
+            vec![]
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{} if <condition>", self.applier.describe())
+    }
+}
+
+/// A named rewrite rule `lhs => rhs`.
+///
+/// ```
+/// use egraph::{Rewrite, SymbolLang};
+/// let rw: Rewrite<SymbolLang, ()> =
+///     Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+/// assert_eq!(rw.name().as_str(), "comm-add");
+/// ```
+pub struct Rewrite<L: Language, N: Analysis<L>> {
+    name: Symbol,
+    searcher: Pattern<L>,
+    applier: Arc<dyn Applier<L, N>>,
+}
+
+impl<L: Language, N: Analysis<L>> Clone for Rewrite<L, N> {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name,
+            searcher: self.searcher.clone(),
+            applier: Arc::clone(&self.applier),
+        }
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for Rewrite<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Rewrite {{ {}: {} => {} }}",
+            self.name,
+            self.searcher,
+            self.applier.describe()
+        )
+    }
+}
+
+impl<L: Language + Send + Sync + 'static, N: Analysis<L>> Rewrite<L, N>
+where
+    L::Discriminant: Send + Sync,
+{
+    /// Parses a rewrite from pattern strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either side fails to parse, or if the
+    /// right-hand side uses a variable the left-hand side does not bind.
+    pub fn parse(name: &str, lhs: &str, rhs: &str) -> Result<Self, ParsePatternError>
+    where
+        L: FromOp,
+    {
+        let searcher: Pattern<L> = lhs.parse()?;
+        let applier: Pattern<L> = rhs.parse()?;
+        for v in applier.vars() {
+            if !searcher.vars().contains(v) {
+                return Err(ParsePatternError::from(crate::ParseRecExprError::new(
+                    format!("rewrite {name}: rhs variable {v} is unbound in lhs"),
+                )));
+            }
+        }
+        Ok(Self::new(name, searcher, applier))
+    }
+
+    /// Creates a rewrite from a searcher pattern and a pattern applier.
+    pub fn new(name: &str, searcher: Pattern<L>, applier: Pattern<L>) -> Self {
+        Self {
+            name: Symbol::new(name),
+            searcher,
+            applier: Arc::new(applier),
+        }
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
+    /// Creates a rewrite with a custom applier.
+    pub fn with_applier(name: &str, searcher: Pattern<L>, applier: Arc<dyn Applier<L, N>>) -> Self {
+        Self {
+            name: Symbol::new(name),
+            searcher,
+            applier,
+        }
+    }
+
+    /// The rule name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// The left-hand-side pattern.
+    pub fn searcher(&self) -> &Pattern<L> {
+        &self.searcher
+    }
+
+    /// Searches the e-graph for matches of the left-hand side.
+    pub fn search(&self, egraph: &EGraph<L, N>) -> Vec<crate::SearchMatches> {
+        self.searcher.search(egraph)
+    }
+
+    /// Applies the rule to previously found matches, returning the
+    /// number of applications that changed the e-graph.
+    pub fn apply(&self, egraph: &mut EGraph<L, N>, matches: &[crate::SearchMatches]) -> usize {
+        let mut applied = 0;
+        for m in matches {
+            for subst in &m.substs {
+                applied += usize::from(!self.applier.apply_one(egraph, m.eclass, subst).is_empty());
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecExpr, SymbolLang};
+
+    type EG = EGraph<SymbolLang, ()>;
+    type RW = Rewrite<SymbolLang, ()>;
+
+    #[test]
+    fn parse_checks_unbound_vars() {
+        assert!(RW::parse("bad", "(+ ?a ?b)", "(+ ?a ?c)").is_err());
+        assert!(RW::parse("ok", "(+ ?a ?b)", "?a").is_ok());
+    }
+
+    #[test]
+    fn apply_unions_lhs_and_rhs() {
+        let mut eg = EG::default();
+        let expr: RecExpr<SymbolLang> = "(+ x 0)".parse().unwrap();
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        let rw = RW::parse("add-zero", "(+ ?a 0)", "?a").unwrap();
+        let matches = rw.search(&eg);
+        let n = rw.apply(&mut eg, &matches);
+        eg.rebuild();
+        assert_eq!(n, 1);
+        let x = eg.lookup(&SymbolLang::leaf("x")).unwrap();
+        assert_eq!(eg.find(root), eg.find(x));
+    }
+
+    #[test]
+    fn conditional_applier_gates_application() {
+        let mut eg = EG::default();
+        let root = eg.add_expr(&"(+ x 0)".parse().unwrap());
+        eg.rebuild();
+        let searcher: Pattern<SymbolLang> = "(+ ?a 0)".parse().unwrap();
+        let inner: Pattern<SymbolLang> = "?a".parse().unwrap();
+        let never = ConditionalApplier {
+            condition: Arc::new(|_: &mut EG, _, _: &Subst| false),
+            applier: Arc::new(inner),
+        };
+        let rw = RW::with_applier("never", searcher, Arc::new(never));
+        let matches = rw.search(&eg);
+        assert_eq!(rw.apply(&mut eg, &matches), 0);
+        eg.rebuild();
+        let x = eg.lookup(&SymbolLang::leaf("x")).unwrap();
+        assert_ne!(eg.find(root), eg.find(x));
+    }
+}

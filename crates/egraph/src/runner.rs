@@ -1,0 +1,457 @@
+//! The saturation driver: [`Runner`], schedulers, and per-iteration
+//! statistics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite, SearchMatches, Symbol};
+
+/// Why a [`Runner`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule produced a change: the e-graph is saturated.
+    Saturated,
+    /// The iteration limit was reached.
+    IterLimit(usize),
+    /// The e-graph grew past the node limit.
+    NodeLimit(usize),
+    /// The time limit was exceeded.
+    TimeLimit(Duration),
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Saturated => write!(f, "saturated"),
+            StopReason::IterLimit(n) => write!(f, "hit iteration limit {n}"),
+            StopReason::NodeLimit(n) => write!(f, "hit node limit {n}"),
+            StopReason::TimeLimit(d) => write!(f, "hit time limit {d:?}"),
+        }
+    }
+}
+
+/// Statistics for one saturation iteration.
+#[derive(Debug, Clone)]
+pub struct Iteration {
+    /// Number of e-nodes after this iteration.
+    pub egraph_nodes: usize,
+    /// Number of e-classes after this iteration.
+    pub egraph_classes: usize,
+    /// Applications per rule that changed the e-graph.
+    pub applied: HashMap<Symbol, usize>,
+    /// Matches found per rule (before scheduling caps).
+    pub search_time: Duration,
+    /// Time spent applying rules.
+    pub apply_time: Duration,
+    /// Time spent rebuilding.
+    pub rebuild_time: Duration,
+    /// Unions performed by congruence repair during rebuild.
+    pub n_rebuilds: usize,
+}
+
+/// Limits configuring a [`Runner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerLimits {
+    /// Maximum number of iterations (default 30).
+    pub iter_limit: usize,
+    /// Maximum number of e-nodes (default 10 000).
+    pub node_limit: usize,
+    /// Wall-clock limit (default 5 s).
+    pub time_limit: Duration,
+}
+
+impl Default for RunnerLimits {
+    fn default() -> Self {
+        Self {
+            iter_limit: 30,
+            node_limit: 10_000,
+            time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Controls how often each rule is searched — the hook that implements
+/// backoff scheduling.
+pub trait RewriteScheduler<L: Language, N: Analysis<L>> {
+    /// Searches `rewrite` during `iteration`, possibly skipping or
+    /// truncating matches.
+    fn search_rewrite(
+        &mut self,
+        iteration: usize,
+        egraph: &EGraph<L, N>,
+        rewrite: &Rewrite<L, N>,
+    ) -> Vec<SearchMatches> {
+        let _ = iteration;
+        rewrite.search(egraph)
+    }
+
+    /// Returns `true` if saturation can be trusted (no rule was banned
+    /// or truncated this iteration).
+    fn can_stop(&mut self, iteration: usize) -> bool {
+        let _ = iteration;
+        true
+    }
+}
+
+/// A scheduler that always searches every rule exhaustively.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimpleScheduler;
+
+impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for SimpleScheduler {}
+
+/// Exponential-backoff scheduler (like `egg`'s `BackoffScheduler`).
+///
+/// A rule that yields more than `match_limit` total substitutions in one
+/// iteration is banned for `ban_length` iterations; each subsequent ban
+/// doubles both numbers for that rule. This keeps explosive rules (e.g.
+/// associativity) from starving the rest.
+#[derive(Debug, Clone)]
+pub struct BackoffScheduler {
+    default_match_limit: usize,
+    default_ban_length: usize,
+    stats: HashMap<Symbol, RuleStats>,
+}
+
+#[derive(Debug, Clone)]
+struct RuleStats {
+    times_banned: usize,
+    banned_until: usize,
+    match_limit: usize,
+    ban_length: usize,
+}
+
+impl BackoffScheduler {
+    /// Creates a scheduler with the given initial match limit and ban
+    /// length.
+    pub fn new(match_limit: usize, ban_length: usize) -> Self {
+        Self {
+            default_match_limit: match_limit,
+            default_ban_length: ban_length,
+            stats: HashMap::new(),
+        }
+    }
+
+    fn rule_stats(&mut self, name: Symbol) -> &mut RuleStats {
+        self.stats.entry(name).or_insert(RuleStats {
+            times_banned: 0,
+            banned_until: 0,
+            match_limit: self.default_match_limit,
+            ban_length: self.default_ban_length,
+        })
+    }
+}
+
+impl Default for BackoffScheduler {
+    fn default() -> Self {
+        Self::new(1_000, 5)
+    }
+}
+
+impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for BackoffScheduler {
+    fn search_rewrite(
+        &mut self,
+        iteration: usize,
+        egraph: &EGraph<L, N>,
+        rewrite: &Rewrite<L, N>,
+    ) -> Vec<SearchMatches> {
+        let stats = self.rule_stats(rewrite.name());
+        if iteration < stats.banned_until {
+            return vec![];
+        }
+        let allowed = stats.match_limit << stats.times_banned;
+        // Bounded search: an explosive rule costs at most `allowed`
+        // substitutions before it gets banned.
+        let matches = rewrite.searcher().search_with_limit(egraph, allowed);
+        let total: usize = matches.iter().map(|m| m.substs.len()).sum();
+        let stats = self.rule_stats(rewrite.name());
+        if total > allowed {
+            let ban = stats.ban_length << stats.times_banned;
+            stats.times_banned += 1;
+            stats.banned_until = iteration + ban;
+            return vec![];
+        }
+        matches
+    }
+
+    fn can_stop(&mut self, iteration: usize) -> bool {
+        self.stats.values().all(|s| iteration >= s.banned_until)
+    }
+}
+
+/// Drives equality saturation: repeatedly search all rules, apply the
+/// matches, and rebuild, until saturation or a limit is hit.
+///
+/// ```
+/// use egraph::{Runner, Rewrite, SymbolLang, RecExpr};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rules: Vec<Rewrite<SymbolLang, ()>> =
+///     vec![Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)")?];
+/// let expr: RecExpr<SymbolLang> = "(+ x y)".parse()?;
+/// let runner = Runner::default().with_expr(&expr).run(&rules);
+/// assert!(runner.egraph.lookup_expr(&"(+ y x)".parse()?).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Runner<L: Language, N: Analysis<L> = ()> {
+    /// The e-graph being saturated.
+    pub egraph: EGraph<L, N>,
+    /// Root e-classes registered via [`Runner::with_expr`].
+    pub roots: Vec<Id>,
+    /// Per-iteration statistics.
+    pub iterations: Vec<Iteration>,
+    /// Why the run stopped (`None` until [`Runner::run`] is called).
+    pub stop_reason: Option<StopReason>,
+    limits: RunnerLimits,
+    scheduler: Box<dyn RewriteScheduler<L, N>>,
+}
+
+impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
+    fn default() -> Self {
+        Self::new(N::default())
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for Runner<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runner")
+            .field("egraph", &self.egraph)
+            .field("roots", &self.roots)
+            .field("iterations", &self.iterations.len())
+            .field("stop_reason", &self.stop_reason)
+            .finish()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Runner<L, N> {
+    /// Creates a runner with the given analysis and a
+    /// [`BackoffScheduler`].
+    pub fn new(analysis: N) -> Self {
+        Self {
+            egraph: EGraph::new(analysis),
+            roots: vec![],
+            iterations: vec![],
+            stop_reason: None,
+            limits: RunnerLimits::default(),
+            scheduler: Box::new(BackoffScheduler::default()),
+        }
+    }
+
+    /// Replaces the e-graph (e.g. to continue saturating an existing
+    /// graph with a different ruleset — BoolE's two-phase flow).
+    pub fn with_egraph(mut self, egraph: EGraph<L, N>) -> Self {
+        self.egraph = egraph;
+        self
+    }
+
+    /// Adds `expr` and registers its root.
+    pub fn with_expr(mut self, expr: &RecExpr<L>) -> Self {
+        let id = self.egraph.add_expr(expr);
+        self.roots.push(id);
+        self
+    }
+
+    /// Registers an existing e-class as a root.
+    pub fn with_root(mut self, root: Id) -> Self {
+        self.roots.push(root);
+        self
+    }
+
+    /// Sets the iteration limit.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.limits.iter_limit = limit;
+        self
+    }
+
+    /// Sets the e-node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.limits.node_limit = limit;
+        self
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.limits.time_limit = limit;
+        self
+    }
+
+    /// Replaces the scheduler.
+    pub fn with_scheduler(mut self, scheduler: impl RewriteScheduler<L, N> + 'static) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Runs saturation with `rules` until a stop condition; returns
+    /// `self` with statistics filled in.
+    pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
+        let start = Instant::now();
+        self.egraph.rebuild();
+        for iteration in 0..self.limits.iter_limit {
+            let iter_start = Instant::now();
+            // Search phase (time limit enforced per rule, not only per
+            // iteration, so one explosive rule cannot stall the run).
+            let mut all_matches = Vec::with_capacity(rules.len());
+            for rule in rules {
+                if start.elapsed() > self.limits.time_limit {
+                    all_matches.push(vec![]);
+                    continue;
+                }
+                all_matches.push(self.scheduler.search_rewrite(iteration, &self.egraph, rule));
+            }
+            let search_time = iter_start.elapsed();
+
+            // Apply phase. The node limit is also enforced *between*
+            // rules so a single explosive iteration cannot overshoot by
+            // more than one rule's worth of matches.
+            let apply_start = Instant::now();
+            let mut applied: HashMap<Symbol, usize> = HashMap::new();
+            let mut apply_aborted = false;
+            for (rule, matches) in rules.iter().zip(&all_matches) {
+                if self.egraph.total_number_of_nodes() > self.limits.node_limit
+                    || start.elapsed() > self.limits.time_limit
+                {
+                    apply_aborted = true;
+                    break;
+                }
+                let n = rule.apply(&mut self.egraph, matches);
+                if n > 0 {
+                    *applied.entry(rule.name()).or_insert(0) += n;
+                }
+            }
+            let apply_time = apply_start.elapsed();
+
+            // Rebuild phase.
+            let rebuild_start = Instant::now();
+            let n_rebuilds = self.egraph.rebuild();
+            let rebuild_time = rebuild_start.elapsed();
+
+            let saturated =
+                applied.is_empty() && !apply_aborted && self.scheduler.can_stop(iteration + 1);
+            self.iterations.push(Iteration {
+                egraph_nodes: self.egraph.total_number_of_nodes(),
+                egraph_classes: self.egraph.num_classes(),
+                applied,
+                search_time,
+                apply_time,
+                rebuild_time,
+                n_rebuilds,
+            });
+
+            if saturated {
+                self.stop_reason = Some(StopReason::Saturated);
+                return self;
+            }
+            if self.egraph.total_number_of_nodes() > self.limits.node_limit {
+                self.stop_reason = Some(StopReason::NodeLimit(self.limits.node_limit));
+                return self;
+            }
+            if start.elapsed() > self.limits.time_limit {
+                self.stop_reason = Some(StopReason::TimeLimit(self.limits.time_limit));
+                return self;
+            }
+        }
+        self.stop_reason = Some(StopReason::IterLimit(self.limits.iter_limit));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Extractor, AstSize, SymbolLang};
+
+    type RW = Rewrite<SymbolLang, ()>;
+
+    fn math_rules() -> Vec<RW> {
+        vec![
+            RW::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            RW::parse("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+            RW::parse("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+            RW::parse("add-zero", "(+ ?a 0)", "?a").unwrap(),
+            RW::parse("mul-one", "(* ?a 1)", "?a").unwrap(),
+            RW::parse("mul-zero", "(* ?a 0)", "0").unwrap(),
+            RW::parse("distr", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn saturates_simple_identity() {
+        let expr = "(+ 0 (* 1 x))".parse().unwrap();
+        let runner = Runner::default().with_expr(&expr).run(&math_rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        let extractor = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = extractor.find_best(runner.roots[0]);
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "x");
+    }
+
+    #[test]
+    fn node_limit_stops_explosive_rules() {
+        let expr = "(+ a (+ b (+ c (+ d (+ e f)))))".parse().unwrap();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_node_limit(50)
+            .with_scheduler(SimpleScheduler)
+            .run(&math_rules());
+        assert!(matches!(runner.stop_reason, Some(StopReason::NodeLimit(_))));
+    }
+
+    #[test]
+    fn iter_limit_respected() {
+        let expr = "(+ a (+ b (+ c d)))".parse().unwrap();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_iter_limit(1)
+            .run(&math_rules());
+        assert!(matches!(
+            runner.stop_reason,
+            Some(StopReason::IterLimit(1)) | Some(StopReason::Saturated)
+        ));
+        assert!(runner.iterations.len() <= 1);
+    }
+
+    #[test]
+    fn iterations_record_applications() {
+        let expr = "(+ x 0)".parse().unwrap();
+        let runner = Runner::default().with_expr(&expr).run(&math_rules());
+        let total: usize = runner
+            .iterations
+            .iter()
+            .flat_map(|i| i.applied.values())
+            .sum();
+        assert!(total >= 1);
+    }
+
+    #[test]
+    fn two_phase_continuation() {
+        // Phase 1: only commutativity. Phase 2: add-zero on the same
+        // e-graph, mirroring BoolE's incremental R1/R2 flow.
+        let expr = "(+ 0 x)".parse().unwrap();
+        let phase1 = vec![RW::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+        let phase2 = vec![RW::parse("add-zero", "(+ ?a 0)", "?a").unwrap()];
+        let r1 = Runner::default().with_expr(&expr).run(&phase1);
+        let roots = r1.roots.clone();
+        let r2 = Runner::new(())
+            .with_egraph(r1.egraph)
+            .with_root(roots[0])
+            .run(&phase2);
+        let x = r2.egraph.lookup(&SymbolLang::leaf("x")).unwrap();
+        assert_eq!(r2.egraph.find(roots[0]), r2.egraph.find(x));
+    }
+
+    #[test]
+    fn backoff_bans_explosive_rule_but_allows_progress() {
+        let expr = "(+ a (+ b (+ c (+ d 0))))".parse().unwrap();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_scheduler(BackoffScheduler::new(2, 2))
+            .with_iter_limit(20)
+            .with_node_limit(100_000)
+            .run(&math_rules());
+        // add-zero must still have fired despite comm/assoc being banned.
+        let simplified = runner
+            .egraph
+            .lookup_expr(&"(+ a (+ b (+ c d)))".parse().unwrap());
+        assert!(simplified.is_some());
+    }
+}

@@ -1,0 +1,93 @@
+//! A tiny global string interner.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Symbols are cheap to copy, compare, and hash; they are used for
+/// variable and operator names. Interning is global and leaks the backing
+/// strings, which is fine for the bounded name sets of a term language.
+///
+/// ```
+/// use egraph::Symbol;
+/// let a = Symbol::new("x");
+/// let b = Symbol::new("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+#[derive(Default)]
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        let mut interner = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = interner.ids.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(interner.names.len()).expect("too many symbols");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        interner.names.push(leaked);
+        interner.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("symbol interner poisoned").names[self.0 as usize]
+    }
+}
+
+impl<S: AsRef<str>> From<S> for Symbol {
+    fn from(s: S) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Symbol::new("foo");
+        let b = Symbol::new("bar");
+        let c = Symbol::new("foo");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "foo");
+        assert_eq!(b.as_str(), "bar");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "baz".into();
+        assert_eq!(a, Symbol::new(String::from("baz")));
+    }
+}

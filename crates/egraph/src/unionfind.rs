@@ -1,0 +1,144 @@
+//! A union-find (disjoint set) over [`Id`]s.
+
+use crate::Id;
+
+/// A union-find data structure over dense [`Id`]s.
+///
+/// Roots are canonical representatives. [`UnionFind::find`] works on a
+/// shared reference (no path compression) so it can be used while
+/// iterating an e-graph; [`UnionFind::find_mut`] performs path halving.
+///
+/// ```
+/// use egraph::UnionFind;
+/// let mut uf = UnionFind::default();
+/// let a = uf.make_set();
+/// let b = uf.make_set();
+/// assert_ne!(uf.find(a), uf.find(b));
+/// uf.union_roots(a, b);
+/// assert_eq!(uf.find(a), uf.find(b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Creates an empty union-find.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh singleton set and returns its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from_index(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    /// Number of ids ever created (not the number of distinct sets).
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Returns `true` if no set was ever created.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    fn parent(&self, id: Id) -> Id {
+        self.parents[id.index()]
+    }
+
+    /// Finds the canonical representative of `id` without mutating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this union-find.
+    pub fn find(&self, mut id: Id) -> Id {
+        while id != self.parent(id) {
+            id = self.parent(id);
+        }
+        id
+    }
+
+    /// Finds the canonical representative of `id`, compressing paths.
+    pub fn find_mut(&mut self, mut id: Id) -> Id {
+        while id != self.parent(id) {
+            let grandparent = self.parent(self.parent(id));
+            self.parents[id.index()] = grandparent;
+            id = grandparent;
+        }
+        id
+    }
+
+    /// Unions two sets given their *roots*, making `to` the new root.
+    ///
+    /// Returns `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `to` or `from` are not roots.
+    pub fn union_roots(&mut self, to: Id, from: Id) -> Id {
+        debug_assert_eq!(to, self.find(to), "`to` must be a root");
+        debug_assert_eq!(from, self.find(from), "`from` must be a root");
+        self.parents[from.index()] = to;
+        to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> (UnionFind, Vec<Id>) {
+        let mut uf = UnionFind::new();
+        let ids = (0..n).map(|_| uf.make_set()).collect();
+        (uf, ids)
+    }
+
+    #[test]
+    fn fresh_sets_are_distinct() {
+        let (uf, ids) = ids(8);
+        for (i, &a) in ids.iter().enumerate() {
+            assert_eq!(uf.find(a), a);
+            for &b in &ids[i + 1..] {
+                assert_ne!(uf.find(a), uf.find(b));
+            }
+        }
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let (mut uf, ids) = ids(6);
+        uf.union_roots(ids[0], ids[1]);
+        uf.union_roots(ids[2], ids[3]);
+        assert_eq!(uf.find(ids[1]), ids[0]);
+        assert_eq!(uf.find(ids[3]), ids[2]);
+        assert_ne!(uf.find(ids[0]), uf.find(ids[2]));
+        let r0 = uf.find(ids[0]);
+        let r2 = uf.find(ids[2]);
+        uf.union_roots(r0, r2);
+        assert_eq!(uf.find(ids[3]), uf.find(ids[1]));
+        // untouched element remains alone
+        assert_eq!(uf.find(ids[5]), ids[5]);
+    }
+
+    #[test]
+    fn find_mut_compresses() {
+        let (mut uf, ids) = ids(4);
+        uf.union_roots(ids[0], ids[1]);
+        uf.union_roots(ids[1].into_root(&uf), ids[2]);
+        let root = uf.find_mut(ids[2]);
+        assert_eq!(root, ids[0]);
+        assert_eq!(uf.find(ids[2]), ids[0]);
+    }
+
+    trait IntoRoot {
+        fn into_root(self, uf: &UnionFind) -> Id;
+    }
+    impl IntoRoot for Id {
+        fn into_root(self, uf: &UnionFind) -> Id {
+            uf.find(self)
+        }
+    }
+}

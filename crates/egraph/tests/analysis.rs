@@ -1,0 +1,98 @@
+//! Integration test: a constant-folding e-class analysis over
+//! `SymbolLang`, exercising `Analysis::{make, merge, modify}` and the
+//! analysis-repair path of `EGraph::rebuild`.
+
+use egraph::{Analysis, DidMerge, EGraph, Id, Language, RecExpr, Rewrite, Runner, SymbolLang};
+
+/// Folds integer arithmetic over `+` and `*`.
+#[derive(Debug, Clone, Default)]
+struct ConstFold;
+
+fn parse_const(node: &SymbolLang) -> Option<i64> {
+    if node.is_leaf() {
+        node.op.as_str().parse().ok()
+    } else {
+        None
+    }
+}
+
+impl Analysis<SymbolLang> for ConstFold {
+    type Data = Option<i64>;
+
+    fn make(egraph: &mut EGraph<SymbolLang, Self>, enode: &SymbolLang) -> Self::Data {
+        if let Some(c) = parse_const(enode) {
+            return Some(c);
+        }
+        let child = |i: usize| -> Option<i64> { egraph.eclass(enode.children()[i]).data };
+        match enode.op.as_str() {
+            "+" => Some(child(0)? + child(1)?),
+            "*" => Some(child(0)? * child(1)?),
+            _ => None,
+        }
+    }
+
+    fn merge(&mut self, to: &mut Self::Data, from: Self::Data) -> DidMerge {
+        match (&to, from) {
+            (None, Some(c)) => {
+                *to = Some(c);
+                DidMerge(true, false)
+            }
+            (Some(a), Some(b)) => {
+                assert_eq!(*a, b, "constant folding contradiction");
+                DidMerge(false, false)
+            }
+            (_, None) => DidMerge(false, true),
+        }
+    }
+
+    fn modify(egraph: &mut EGraph<SymbolLang, Self>, id: Id) {
+        if let Some(c) = egraph.eclass(id).data {
+            let const_id = egraph.add(SymbolLang::leaf(c.to_string()));
+            egraph.union(id, const_id);
+        }
+    }
+}
+
+#[test]
+fn folds_constants_bottom_up() {
+    let mut eg: EGraph<SymbolLang, ConstFold> = EGraph::default();
+    let expr: RecExpr<SymbolLang> = "(+ (* 2 3) (* 4 5))".parse().unwrap();
+    let root = eg.add_expr(&expr);
+    eg.rebuild();
+    let c26 = eg.lookup(&SymbolLang::leaf("26")).expect("26 materialized");
+    assert_eq!(eg.find(root), eg.find(c26));
+}
+
+#[test]
+fn analysis_data_propagates_through_unions() {
+    let mut eg: EGraph<SymbolLang, ConstFold> = EGraph::default();
+    let x = eg.add(SymbolLang::leaf("x"));
+    let two = eg.add(SymbolLang::leaf("2"));
+    let sum = eg.add(SymbolLang::new("+", vec![x, two]));
+    eg.rebuild();
+    assert_eq!(eg.eclass(sum).data, None);
+    // Learn that x = 3: the sum class must fold to 5.
+    let three = eg.add(SymbolLang::leaf("3"));
+    eg.union(x, three);
+    eg.rebuild();
+    assert_eq!(eg.eclass(sum).data, Some(5));
+    let five = eg.lookup(&SymbolLang::leaf("5")).expect("5 materialized");
+    assert_eq!(eg.find(sum), eg.find(five));
+}
+
+#[test]
+fn analysis_composes_with_rewriting() {
+    let rules: Vec<Rewrite<SymbolLang, ConstFold>> = vec![
+        Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+        Rewrite::parse("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+    ];
+    // (x + 1) + 2: after re-association, 1 + 2 folds to 3.
+    let expr: RecExpr<SymbolLang> = "(+ (+ x 1) 2)".parse().unwrap();
+    let runner = Runner::new(ConstFold).with_expr(&expr).run(&rules);
+    let want: RecExpr<SymbolLang> = "(+ x 3)".parse().unwrap();
+    let found = runner.egraph.lookup_expr(&want).expect("folded form exists");
+    assert_eq!(
+        runner.egraph.find(found),
+        runner.egraph.find(runner.roots[0])
+    );
+}

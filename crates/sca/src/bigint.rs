@@ -1,0 +1,361 @@
+//! A small arbitrary-precision signed integer.
+//!
+//! Verification of an `n`-bit multiplier manipulates coefficients up
+//! to `2^(2n)`; for the paper's 128-bit benchmarks that exceeds `i128`,
+//! so we carry our own sign-magnitude bignum (the approved offline
+//! crate set has no bignum crate).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A signed arbitrary-precision integer (sign + little-endian `u64`
+/// magnitude limbs, no leading zero limbs, zero is positive-empty).
+///
+/// ```
+/// use sca::Int;
+/// let a = Int::from(1i64) << 130;
+/// let b = &a - &Int::from(1i64);
+/// assert!(b < a);
+/// assert_eq!((&a - &a), Int::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    negative: bool,
+    limbs: Vec<u64>,
+}
+
+impl Int {
+    /// Zero.
+    pub const ZERO: Int = Int {
+        negative: false,
+        limbs: Vec::new(),
+    };
+
+    /// One.
+    pub fn one() -> Int {
+        Int::from(1i64)
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// `2^k`.
+    pub fn pow2(k: usize) -> Int {
+        Int::one() << k
+    }
+
+    /// The negation.
+    pub fn neg(&self) -> Int {
+        if self.is_zero() {
+            Int::ZERO
+        } else {
+            Int {
+                negative: !self.negative,
+                limbs: self.limbs.clone(),
+            }
+        }
+    }
+
+    fn trim(mut limbs: Vec<u64>, negative: bool) -> Int {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            Int::ZERO
+        } else {
+            Int { negative, limbs }
+        }
+    }
+
+    fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let (s1, c1) = long[i].overflowing_add(*short.get(i).unwrap_or(&0));
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// `a - b` for `|a| >= |b|`.
+    fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Int::mag_cmp(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let rhs = *b.get(i).unwrap_or(&0);
+            let (d1, b1) = a[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Divides the magnitude by a small divisor, returning the
+    /// remainder (used for decimal printing).
+    fn mag_divmod_u64(limbs: &[u64], divisor: u64) -> (Vec<u64>, u64) {
+        let mut out = vec![0u64; limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
+            out[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (out, rem as u64)
+    }
+
+    /// Number of bits in the magnitude.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Int {
+        if v == 0 {
+            Int::ZERO
+        } else {
+            Int {
+                negative: v < 0,
+                limbs: vec![v.unsigned_abs()],
+            }
+        }
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Int {
+        Int::from(v as i64)
+    }
+}
+
+impl std::ops::Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        if self.negative == rhs.negative {
+            Int::trim(Int::mag_add(&self.limbs, &rhs.limbs), self.negative)
+        } else {
+            match Int::mag_cmp(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => Int::ZERO,
+                Ordering::Greater => {
+                    Int::trim(Int::mag_sub(&self.limbs, &rhs.limbs), self.negative)
+                }
+                Ordering::Less => Int::trim(Int::mag_sub(&rhs.limbs, &self.limbs), rhs.negative),
+            }
+        }
+    }
+}
+
+impl std::ops::Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &rhs.neg()
+    }
+}
+
+impl std::ops::Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        Int::trim(
+            Int::mag_mul(&self.limbs, &rhs.limbs),
+            self.negative != rhs.negative,
+        )
+    }
+}
+
+impl std::ops::Shl<usize> for Int {
+    type Output = Int;
+    fn shl(self, bits: usize) -> Int {
+        if self.is_zero() {
+            return Int::ZERO;
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                limbs.push(carry);
+            }
+        }
+        Int::trim(limbs, self.negative)
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Int) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Int) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Int::mag_cmp(&self.limbs, &other.limbs),
+            (true, true) => Int::mag_cmp(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        while !mag.is_empty() {
+            let (q, r) = Int::mag_divmod_u64(&mag, 10_000_000_000_000_000_000);
+            let q = {
+                let mut q = q;
+                while q.last() == Some(&0) {
+                    q.pop();
+                }
+                q
+            };
+            digits.push(r);
+            mag = q;
+        }
+        if self.negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", digits.last().expect("non-zero"))?;
+        for d in digits.iter().rev().skip(1) {
+            write!(f, "{d:019}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Int::from(42i64);
+        let b = Int::from(-17i64);
+        assert_eq!(&a + &b, Int::from(25i64));
+        assert_eq!(&a - &b, Int::from(59i64));
+        assert_eq!(&a * &b, Int::from(-714i64));
+        assert_eq!(&b * &b, Int::from(289i64));
+        assert_eq!(&a - &a, Int::ZERO);
+    }
+
+    #[test]
+    fn large_shifts_and_products() {
+        let big = Int::pow2(200);
+        assert_eq!(big.bits(), 201);
+        let sq = &big * &big;
+        assert_eq!(sq, Int::pow2(400));
+        assert_eq!(&sq - &sq, Int::ZERO);
+        assert!(Int::pow2(128) > Int::pow2(127));
+        assert!(Int::pow2(128).neg() < Int::ZERO);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(Int::ZERO.to_string(), "0");
+        assert_eq!(Int::from(-12345i64).to_string(), "-12345");
+        // 2^64 = 18446744073709551616
+        assert_eq!(Int::pow2(64).to_string(), "18446744073709551616");
+        // 2^128 known value
+        assert_eq!(
+            Int::pow2(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn add_sub_roundtrip_random() {
+        // xorshift-driven sanity over mixed signs.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as i64
+        };
+        for _ in 0..500 {
+            let a = Int::from(next());
+            let b = Int::from(next());
+            let sum = &a + &b;
+            assert_eq!(&sum - &b, a);
+            let prod = &a * &b;
+            if !b.is_zero() {
+                // crude check: |a*b| >= |a| unless b == 0
+                assert!(prod.bits() + 1 >= a.bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_shift_consistency() {
+        for k in [0usize, 1, 63, 64, 65, 127, 130] {
+            assert_eq!(Int::pow2(k), Int::one() << k);
+            assert_eq!((&Int::pow2(k) + &Int::pow2(k)), Int::pow2(k + 1));
+        }
+    }
+}

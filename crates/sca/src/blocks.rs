@@ -1,0 +1,52 @@
+//! Adder-block knowledge handed to the rewriter.
+
+use aig::Lit;
+
+/// An exact full adder over netlist signals: `sum = in0 ⊕ in1 ⊕ in2`
+/// and `carry = maj(in0, in1, in2)` as *literals* (polarity included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaBlockSpec {
+    /// The three input literals.
+    pub inputs: [Lit; 3],
+    /// The sum literal.
+    pub sum: Lit,
+    /// The carry literal.
+    pub carry: Lit,
+}
+
+/// An exact half adder: `sum = in0 ⊕ in1`, `carry = in0 & in1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaBlockSpec {
+    /// The two input literals.
+    pub inputs: [Lit; 2],
+    /// The sum literal.
+    pub sum: Lit,
+    /// The carry literal.
+    pub carry: Lit,
+}
+
+/// The exact blocks known to the verifier.
+#[derive(Debug, Clone, Default)]
+pub struct AdderBlocks {
+    /// Full adders.
+    pub fas: Vec<FaBlockSpec>,
+    /// Half adders.
+    pub has: Vec<HaBlockSpec>,
+}
+
+impl AdderBlocks {
+    /// No block knowledge (the Table II baseline).
+    pub fn none() -> AdderBlocks {
+        AdderBlocks::default()
+    }
+
+    /// Total number of blocks.
+    pub fn len(&self) -> usize {
+        self.fas.len() + self.has.len()
+    }
+
+    /// Returns `true` if no blocks are known.
+    pub fn is_empty(&self) -> bool {
+        self.fas.is_empty() && self.has.is_empty()
+    }
+}

@@ -1,0 +1,45 @@
+//! Symbolic computer algebra (SCA) verification backend — a
+//! reproduction of the RevSCA-2.0 flow the paper integrates BoolE
+//! into (Table II).
+//!
+//! Multiplier verification by *backward rewriting*: start from the
+//! specification polynomial
+//! `P = Σ 2^i out_i − (Σ 2^i a_i)(Σ 2^j b_j)` and substitute gate
+//! output variables by their gate polynomials in reverse topological
+//! order; the multiplier is correct iff the polynomial vanishes.
+//!
+//! Gate-by-gate substitution explodes on optimized netlists (vanishing
+//! monomials); knowing *exact* half/full-adder blocks lets the
+//! rewriter substitute each block's sum and carry with their bounded
+//! closed forms (`s = a+b+c−2·maj`, `maj = ab+ac+bc−2abc`), which keeps
+//! the maximum polynomial size near-linear — the effect BoolE's exact
+//! FA reconstruction enables.
+//!
+//! # Example
+//!
+//! ```
+//! use sca::{verify_multiplier, AdderBlocks, MulSpec, VerifyParams};
+//!
+//! let aig = aig::gen::csa_multiplier(4);
+//! let outcome = verify_multiplier(
+//!     &aig,
+//!     MulSpec::unsigned(4),
+//!     &AdderBlocks::default(),
+//!     &VerifyParams::default(),
+//! );
+//! assert!(outcome.verified);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod blocks;
+pub mod poly;
+pub mod rewriter;
+pub mod spec;
+
+pub use bigint::Int;
+pub use blocks::{AdderBlocks, FaBlockSpec, HaBlockSpec};
+pub use poly::{Mono, Poly};
+pub use rewriter::{verify_multiplier, VerifyOutcome, VerifyParams};
+pub use spec::MulSpec;

@@ -1,0 +1,344 @@
+//! Multilinear polynomials over Boolean (0/1) variables with [`Int`]
+//! coefficients.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Int;
+
+/// A monomial: a sorted product of distinct Boolean variables
+/// (`x² = x` is applied on construction).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mono(Box<[u32]>);
+
+impl Mono {
+    /// The constant monomial `1`.
+    pub fn one() -> Mono {
+        Mono(Box::new([]))
+    }
+
+    /// A single variable.
+    pub fn var(v: u32) -> Mono {
+        Mono(Box::new([v]))
+    }
+
+    /// Builds from variables (sorted, de-duplicated — Booleanness).
+    pub fn from_vars(mut vars: Vec<u32>) -> Mono {
+        vars.sort_unstable();
+        vars.dedup();
+        Mono(vars.into_boxed_slice())
+    }
+
+    /// The variables of the monomial.
+    pub fn vars(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Degree (number of variables).
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the monomial contains `v`.
+    pub fn contains(&self, v: u32) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    /// The product of two monomials (union of variables).
+    pub fn mul(&self, other: &Mono) -> Mono {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (a, b) = (&self.0, &other.0);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Mono(out.into_boxed_slice())
+    }
+
+    /// The monomial with `v` removed.
+    pub fn without(&self, v: u32) -> Mono {
+        Mono(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&x| x != v)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        )
+    }
+}
+
+/// A polynomial: a map from monomials to non-zero coefficients.
+///
+/// ```
+/// use sca::{Poly, Mono, Int};
+/// let x = Poly::var(1);
+/// let one = Poly::constant(Int::one());
+/// let not_x = &one - &x;
+/// // x * (1 - x) == x - x² == x - x == 0 over Booleans
+/// assert!(x.mul(&not_x).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Mono, Int>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Int) -> Poly {
+        let mut p = Poly::zero();
+        p.add_term(Mono::one(), c);
+        p
+    }
+
+    /// The polynomial `v`.
+    pub fn var(v: u32) -> Poly {
+        let mut p = Poly::zero();
+        p.add_term(Mono::var(v), Int::one());
+        p
+    }
+
+    /// The polynomial of a Boolean literal: `v` or `1 − v`.
+    pub fn literal(v: u32, negated: bool) -> Poly {
+        if negated {
+            let mut p = Poly::constant(Int::one());
+            p.add_term(Mono::var(v), Int::from(-1i64));
+            p
+        } else {
+            Poly::var(v)
+        }
+    }
+
+    /// Returns `true` if the polynomial is zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of monomials (the paper's "poly size" metric).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates `(monomial, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Mono, &Int)> {
+        self.terms.iter()
+    }
+
+    /// Adds `coeff · mono` in place.
+    pub fn add_term(&mut self, mono: Mono, coeff: Int) {
+        if coeff.is_zero() {
+            return;
+        }
+        match self.terms.entry(mono) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(coeff);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let new = &*e.get() + &coeff;
+                if new.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = new;
+                }
+            }
+        }
+    }
+
+    /// Adds another polynomial scaled by `scale`.
+    pub fn add_scaled(&mut self, other: &Poly, scale: &Int) {
+        for (m, c) in &other.terms {
+            self.add_term(m.clone(), c * scale);
+        }
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &other.terms {
+                out.add_term(ma.mul(mb), ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Substitutes variable `v` by `replacement`, returning the new
+    /// polynomial. Monomials not containing `v` are untouched.
+    pub fn substitute(&self, v: u32, replacement: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            if m.contains(v) {
+                let rest = m.without(v);
+                for (rm, rc) in &replacement.terms {
+                    out.add_term(rest.mul(rm), c * rc);
+                }
+            } else {
+                out.add_term(m.clone(), c.clone());
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if variable `v` occurs in any monomial.
+    pub fn uses_var(&self, v: u32) -> bool {
+        self.terms.keys().any(|m| m.contains(v))
+    }
+
+    /// The set of variables used.
+    pub fn support(&self) -> Vec<u32> {
+        let mut vars: Vec<u32> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.vars().iter().copied())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+}
+
+impl std::ops::Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        out.add_scaled(rhs, &Int::one());
+        out
+    }
+}
+
+impl std::ops::Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        out.add_scaled(rhs, &Int::from(-1i64));
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+            for v in m.vars() {
+                write!(f, "·x{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booleanness_squares() {
+        let x = Poly::var(3);
+        let sq = x.mul(&x);
+        assert_eq!(sq, x);
+    }
+
+    #[test]
+    fn literal_complement_annihilates() {
+        let x = Poly::var(5);
+        let nx = Poly::literal(5, true);
+        assert!(x.mul(&nx).is_zero());
+        assert_eq!(&x + &nx, Poly::constant(Int::one()));
+    }
+
+    #[test]
+    fn substitution_eliminates_var() {
+        // p = 2·x·y + z; x := a + b - a·b (i.e. a OR b)
+        let mut p = Poly::zero();
+        p.add_term(Mono::from_vars(vec![1, 2]), Int::from(2i64));
+        p.add_term(Mono::var(3), Int::one());
+        let mut or_ab = Poly::var(10);
+        or_ab.add_term(Mono::var(11), Int::one());
+        or_ab.add_term(Mono::from_vars(vec![10, 11]), Int::from(-1i64));
+        let q = p.substitute(1, &or_ab);
+        assert!(!q.uses_var(1));
+        assert!(q.uses_var(10));
+        // Evaluate both sides on all assignments to check equality.
+        for bits in 0u32..16 {
+            let assign = |v: u32| -> i64 {
+                match v {
+                    10 => (bits & 1) as i64,
+                    11 => ((bits >> 1) & 1) as i64,
+                    2 => ((bits >> 2) & 1) as i64,
+                    3 => ((bits >> 3) & 1) as i64,
+                    1 => {
+                        let a = (bits & 1) as i64;
+                        let b = ((bits >> 1) & 1) as i64;
+                        a + b - a * b
+                    }
+                    _ => unreachable!(),
+                }
+            };
+            let eval = |poly: &Poly| -> i64 {
+                poly.iter()
+                    .map(|(m, c)| {
+                        let prod: i64 = m.vars().iter().map(|&v| assign(v)).product();
+                        // coefficients fit in i64 in this test
+                        let cs = c.to_string().parse::<i64>().unwrap();
+                        cs * prod
+                    })
+                    .sum()
+            };
+            assert_eq!(eval(&p), eval(&q), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn xor_identity_vanishes() {
+        // s = a + b - 2ab  (XOR);  s - a - b + 2ab == 0
+        let a = Poly::var(1);
+        let b = Poly::var(2);
+        let mut s = &a + &b;
+        s.add_scaled(&a.mul(&b), &Int::from(-2i64));
+        let mut check = s.clone();
+        check.add_scaled(&a, &Int::from(-1i64));
+        check.add_scaled(&b, &Int::from(-1i64));
+        check.add_scaled(&a.mul(&b), &Int::from(2i64));
+        assert!(check.is_zero());
+    }
+
+    #[test]
+    fn num_terms_counts_monomials() {
+        let mut p = Poly::zero();
+        for v in 0..10u32 {
+            p.add_term(Mono::var(v), Int::one());
+        }
+        assert_eq!(p.num_terms(), 10);
+        for v in 0..10u32 {
+            p.add_term(Mono::var(v), Int::from(-1i64));
+        }
+        assert!(p.is_zero());
+    }
+}

@@ -1,0 +1,123 @@
+//! Multiplier specification polynomials.
+
+use aig::{Aig, Lit};
+
+use crate::{Int, Poly};
+
+/// What arithmetic function the netlist is supposed to implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulSpec {
+    /// Unsigned `n × n → 2n` multiplication.
+    Unsigned {
+        /// Operand width.
+        n: usize,
+    },
+    /// Signed (two's complement) `n × n → 2n` multiplication.
+    Signed {
+        /// Operand width.
+        n: usize,
+    },
+}
+
+impl MulSpec {
+    /// Unsigned spec of width `n`.
+    pub fn unsigned(n: usize) -> MulSpec {
+        MulSpec::Unsigned { n }
+    }
+
+    /// Signed spec of width `n`.
+    pub fn signed(n: usize) -> MulSpec {
+        MulSpec::Signed { n }
+    }
+
+    /// Operand width.
+    pub fn width(&self) -> usize {
+        match *self {
+            MulSpec::Unsigned { n } | MulSpec::Signed { n } => n,
+        }
+    }
+
+    /// Builds the specification polynomial
+    /// `Σ w_i · out_i − (Σ w_i · a_i)(Σ w_j · b_j)` over the netlist's
+    /// node variables, where the weights are `2^i` (with negated top
+    /// weight for signed operands/results).
+    ///
+    /// Inputs `0..n` are operand `a`, inputs `n..2n` operand `b`
+    /// (the convention of [`aig::gen`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist interface does not match the spec
+    /// (`2n` inputs, `2n` outputs).
+    pub fn polynomial(&self, aig: &Aig) -> Poly {
+        let n = self.width();
+        assert_eq!(aig.num_inputs(), 2 * n, "expected {} inputs", 2 * n);
+        assert_eq!(aig.num_outputs(), 2 * n, "expected {} outputs", 2 * n);
+        let signed = matches!(self, MulSpec::Signed { .. });
+
+        // Output word.
+        let mut out_word = Poly::zero();
+        for (i, (_, lit)) in aig.outputs().iter().enumerate() {
+            let w = weight(i, 2 * n, signed);
+            out_word.add_scaled(&lit_poly(*lit), &w);
+        }
+        // Operand words.
+        let inputs = aig.inputs();
+        let mut a_word = Poly::zero();
+        let mut b_word = Poly::zero();
+        for i in 0..n {
+            let w = weight(i, n, signed);
+            a_word.add_scaled(&Poly::var(inputs[i].0), &w);
+            b_word.add_scaled(&Poly::var(inputs[n + i].0), &w);
+        }
+        &out_word - &a_word.mul(&b_word)
+    }
+}
+
+fn weight(i: usize, width: usize, signed: bool) -> Int {
+    let w = Int::pow2(i);
+    if signed && i == width - 1 {
+        w.neg()
+    } else {
+        w
+    }
+}
+
+/// The polynomial of an AIG literal over node variables.
+pub fn lit_poly(lit: Lit) -> Poly {
+    if lit == Lit::FALSE {
+        return Poly::zero();
+    }
+    if lit == Lit::TRUE {
+        return Poly::constant(Int::one());
+    }
+    Poly::literal(lit.var().0, lit.is_complemented())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::gen::csa_multiplier;
+
+    #[test]
+    fn spec_shape() {
+        let aig = csa_multiplier(4);
+        let p = MulSpec::unsigned(4).polynomial(&aig);
+        // 8 output terms (distinct vars) + 16 a_i·b_j products, plus
+        // possibly one constant term from complemented output literals.
+        assert!((24..=25).contains(&p.num_terms()), "{}", p.num_terms());
+    }
+
+    #[test]
+    fn lit_poly_constants() {
+        assert!(lit_poly(Lit::FALSE).is_zero());
+        assert_eq!(lit_poly(Lit::TRUE), Poly::constant(Int::one()));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 8 inputs")]
+    fn spec_validates_interface() {
+        let aig = csa_multiplier(3);
+        let _ = MulSpec::unsigned(4).polynomial(&aig);
+    }
+}

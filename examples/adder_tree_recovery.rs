@@ -1,0 +1,45 @@
+//! Adder-tree recovery across netlist transformations: compares how
+//! much of the adder tree each reasoning tool recovers on pre-mapping,
+//! technology-mapped, and dch-optimized netlists — for both CSA and
+//! Booth multipliers (the paper's RQ2 in miniature).
+//!
+//! ```text
+//! cargo run --release --example adder_tree_recovery -- [--bits 6]
+//! ```
+
+use boole::{BoolE, BooleParams};
+use boole_bench::{abc_counts, boole_counts, gamora_counts, prepare, Family, Prep};
+
+fn main() {
+    let n = boole_bench::arg_usize("--bits", 6);
+    let model = baselines::GamoraModel::default_trained();
+
+    for family in [Family::Csa, Family::Booth] {
+        let pre = prepare(family, n, Prep::None);
+        let upper = abc_counts(&pre).npn;
+        println!(
+            "== {} {n}-bit multiplier (adder-tree upper bound: {upper} FAs) ==",
+            family.name()
+        );
+        println!(
+            "{:<14} {:>9} {:>12} {:>11} {:>11} {:>13}",
+            "netlist", "NPN-ABC", "NPN-Gamora", "NPN-BoolE", "Exact-ABC", "Exact-BoolE"
+        );
+        for (label, prep) in [
+            ("pre-mapping", Prep::None),
+            ("tech-mapped", Prep::Mapped),
+            ("dch-optimized", Prep::Dch),
+        ] {
+            let netlist = prepare(family, n, prep);
+            let abc = abc_counts(&netlist);
+            let gamora = gamora_counts(&netlist, &model);
+            let result = BoolE::new(BooleParams::default()).run(&netlist);
+            let boole = boole_counts(&result);
+            println!(
+                "{label:<14} {:>9} {:>12} {:>11} {:>11} {:>13}",
+                abc.npn, gamora.npn, boole.npn, abc.exact, boole.exact
+            );
+        }
+        println!();
+    }
+}

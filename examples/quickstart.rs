@@ -1,0 +1,55 @@
+//! Quickstart: run BoolE on a small multiplier and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use boole::{BoolE, BooleParams};
+
+fn main() {
+    // 1. Generate a 4-bit carry-save array multiplier (8 inputs, 8
+    //    outputs, (4−1)²−1 = 8 full adders in its adder tree).
+    let multiplier = aig::gen::csa_multiplier(4);
+    println!(
+        "netlist: {} inputs, {} outputs, {} AND gates",
+        multiplier.num_inputs(),
+        multiplier.num_outputs(),
+        multiplier.num_ands()
+    );
+
+    // 2. Run the BoolE pipeline: e-graph construction, two-phase
+    //    saturation (R1 then R2), XOR3/MAJ pairing into FA nodes, and
+    //    DAG extraction maximizing exact full adders.
+    let result = BoolE::new(BooleParams::default()).run(&multiplier);
+
+    println!(
+        "saturation: {} e-nodes after R1, {} after R2, {} pruned",
+        result.saturation.nodes_after_r1, result.saturation.nodes_after_r2, result.saturation.pruned
+    );
+    println!(
+        "pairing: {} fa nodes inserted ({} xor3 triples, {} maj triples)",
+        result.pairing.fa_inserted, result.pairing.xor3_triples, result.pairing.maj_triples
+    );
+    println!(
+        "exact full adders recovered: {} (upper bound {})",
+        result.exact_fa_count(),
+        aig::gen::csa_fa_upper_bound(4)
+    );
+
+    // 3. The reconstructed netlist is functionally identical.
+    assert!(aig::sim::random_equiv_check(
+        &multiplier,
+        &result.reconstructed,
+        8,
+        42
+    ));
+    println!("reconstruction verified equivalent by simulation");
+
+    // 4. Each recovered FA satisfies sum = a^b^c, carry = maj(a,b,c).
+    if let Some(fa) = result.fas.first() {
+        println!(
+            "first FA: inputs {:?} -> sum {:?}, carry {:?}",
+            fa.inputs, fa.sum, fa.carry
+        );
+    }
+}
