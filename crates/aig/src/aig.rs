@@ -284,8 +284,7 @@ impl Aig {
 
     /// AND over an iterator of literals (true for empty input).
     pub fn and_all<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
-        lits.into_iter()
-            .fold(Lit::TRUE, |acc, l| self.and(acc, l))
+        lits.into_iter().fold(Lit::TRUE, |acc, l| self.and(acc, l))
     }
 
     /// OR over an iterator of literals (false for empty input).

@@ -28,7 +28,11 @@ impl ParseAigerError {
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "aiger parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "aiger parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -51,7 +55,11 @@ pub fn to_aag(aig: &Aig) -> String {
     for var in aig.and_vars() {
         if let Node::And(f0, f1) = aig.node(var) {
             // AIGER wants lhs > rhs0 >= rhs1.
-            let (hi, lo) = if f0.raw() >= f1.raw() { (f0, f1) } else { (f1, f0) };
+            let (hi, lo) = if f0.raw() >= f1.raw() {
+                (f0, f1)
+            } else {
+                (f1, f0)
+            };
             s.push_str(&format!("{} {} {}\n", var.lit().raw(), hi.raw(), lo.raw()));
         }
     }
@@ -143,13 +151,14 @@ pub fn from_aag(text: &str) -> Result<Aig, ParseAigerError> {
         if lhs & 1 == 1 {
             return Err(ParseAigerError::new(lineno + 1, "AND lhs must be even"));
         }
-        let resolve = |raw: u32, line: usize, map: &HashMap<u32, Lit>| -> Result<Lit, ParseAigerError> {
-            let var_lit = raw & !1;
-            let lit = map.get(&var_lit).copied().ok_or_else(|| {
-                ParseAigerError::new(line, format!("literal {raw} used before definition"))
-            })?;
-            Ok(lit ^ (raw & 1 == 1))
-        };
+        let resolve =
+            |raw: u32, line: usize, map: &HashMap<u32, Lit>| -> Result<Lit, ParseAigerError> {
+                let var_lit = raw & !1;
+                let lit = map.get(&var_lit).copied().ok_or_else(|| {
+                    ParseAigerError::new(line, format!("literal {raw} used before definition"))
+                })?;
+                Ok(lit ^ (raw & 1 == 1))
+            };
         let f0 = resolve(rhs0, lineno + 1, &lit_map)?;
         let f1 = resolve(rhs1, lineno + 1, &lit_map)?;
         let lit = aig.and(f0, f1);
@@ -180,11 +189,9 @@ pub fn from_aag(text: &str) -> Result<Aig, ParseAigerError> {
 
     for (idx, (line, raw)) in output_raw.iter().enumerate() {
         let var_lit = raw & !1;
-        let lit = lit_map
-            .get(&var_lit)
-            .copied()
-            .ok_or_else(|| ParseAigerError::new(*line, format!("undefined output literal {raw}")))?
-            ^ (raw & 1 == 1);
+        let lit = lit_map.get(&var_lit).copied().ok_or_else(|| {
+            ParseAigerError::new(*line, format!("undefined output literal {raw}"))
+        })? ^ (raw & 1 == 1);
         let name = out_names
             .get(&idx)
             .cloned()
@@ -280,7 +287,8 @@ pub fn to_aig_binary(aig: &Aig) -> Vec<u8> {
         var_code[var.index()] = next;
         next += 1;
     }
-    let code_of = |lit: Lit| -> u32 { var_code[lit.var().index()] * 2 + u32::from(lit.is_complemented()) };
+    let code_of =
+        |lit: Lit| -> u32 { var_code[lit.var().index()] * 2 + u32::from(lit.is_complemented()) };
 
     let m = aig.num_nodes() - 1;
     let i = aig.num_inputs();
@@ -382,7 +390,7 @@ pub fn from_aig_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     for _ in 0..i {
         lits.push(aig.add_input());
     }
-    let mut read_delta = |pos: &mut usize| -> Result<u32, ParseAigerError> {
+    let read_delta = |pos: &mut usize| -> Result<u32, ParseAigerError> {
         let mut value: u32 = 0;
         let mut shift = 0;
         loop {
@@ -440,11 +448,9 @@ pub fn from_aig_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
         }
     }
     for (idx, code) in output_codes.iter().enumerate() {
-        let lit = lits
-            .get((code / 2) as usize)
-            .copied()
-            .ok_or_else(|| ParseAigerError::new(0, format!("output literal {code} out of range")))?
-            ^ (code & 1 == 1);
+        let lit = lits.get((code / 2) as usize).copied().ok_or_else(|| {
+            ParseAigerError::new(0, format!("output literal {code} out of range"))
+        })? ^ (code & 1 == 1);
         let name = out_names
             .get(&idx)
             .cloned()
@@ -492,7 +498,7 @@ mod binary_tests {
         assert!(from_aig_binary(b"").is_err());
         assert!(from_aig_binary(b"aig 1 1 1 0 0\n").is_err()); // latch
         assert!(from_aig_binary(b"aig 2 1 0 0 2\n").is_err()); // M != I+A
-        // Truncated delta stream.
+                                                               // Truncated delta stream.
         assert!(from_aig_binary(b"aig 2 1 0 0 1\n").is_err());
     }
 

@@ -142,7 +142,11 @@ pub fn expand_tt(tt: Tt, from: &[Var], to: &[Var]) -> Tt {
     debug_assert!(from.iter().all(|l| to.contains(l)));
     let positions: Vec<usize> = from
         .iter()
-        .map(|l| to.iter().position(|t| t == l).expect("leaf must be in superset"))
+        .map(|l| {
+            to.iter()
+                .position(|t| t == l)
+                .expect("leaf must be in superset")
+        })
         .collect();
     let n = to.len();
     let mut bits = 0u64;

@@ -46,12 +46,7 @@ pub fn ripple_carry_adder(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec
 /// # Panics
 ///
 /// Panics if the operand widths differ.
-pub fn carry_save_adder_3(
-    aig: &mut Aig,
-    a: &[Lit],
-    b: &[Lit],
-    c: &[Lit],
-) -> (Vec<Lit>, Vec<Lit>) {
+pub fn carry_save_adder_3(aig: &mut Aig, a: &[Lit], b: &[Lit], c: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
     assert!(
         a.len() == b.len() && b.len() == c.len(),
         "operand widths differ"

@@ -33,7 +33,10 @@ pub fn booth_multiplier(n: usize) -> Aig {
 /// counts.
 pub fn booth_multiplier_with_stats(n: usize) -> Multiplier {
     assert!(n >= 2, "multiplier width must be at least 2");
-    assert!(n % 2 == 0, "booth multiplier requires an even width");
+    assert!(
+        n.is_multiple_of(2),
+        "booth multiplier requires an even width"
+    );
     let mut aig = Aig::new();
     let a = aig.add_inputs(n);
     let b = aig.add_inputs(n);
@@ -50,8 +53,8 @@ pub fn booth_multiplier_with_stats(n: usize) -> Multiplier {
         // single: |digit| == 1 ; double: |digit| == 2 ; neg: digit < 0.
         let single = aig.xor(b_mid, b_lo);
         let eq = aig.xnor(b_mid, b_lo); // b_mid == b_lo
-        // When b_mid == b_lo the digit is ±2 iff b_hi differs from
-        // them, else 0.
+                                        // When b_mid == b_lo the digit is ±2 iff b_hi differs from
+                                        // them, else 0.
         let hi_diff = aig.xor(b_hi, b_mid);
         let double = aig.and(eq, hi_diff);
         let neg = b_hi;

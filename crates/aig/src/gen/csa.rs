@@ -111,7 +111,13 @@ mod tests {
             check_unsigned(
                 &aig,
                 n,
-                &[(0, 0), (1, max), (max, max), (max / 3, max / 5), (2, max / 2)],
+                &[
+                    (0, 0),
+                    (1, max),
+                    (max, max),
+                    (max / 3, max / 5),
+                    (2, max / 2),
+                ],
             );
         }
     }

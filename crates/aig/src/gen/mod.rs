@@ -9,10 +9,15 @@ mod booth;
 mod csa;
 mod reduce;
 
-pub use adders::{carry_lookahead_adder, carry_save_adder_3, full_adder, half_adder, ripple_carry_adder};
+pub use adders::{
+    carry_lookahead_adder, carry_save_adder_3, full_adder, half_adder, ripple_carry_adder,
+};
 pub use booth::{booth_multiplier, booth_multiplier_with_stats};
 pub use csa::{csa_multiplier, csa_multiplier_with_stats, wallace_multiplier};
-pub use reduce::{reduce_columns, reduce_dadda, ripple_sum, Columns, FaInstance, HaInstance, ReduceStats, ReduceStyle};
+pub use reduce::{
+    reduce_columns, reduce_dadda, ripple_sum, Columns, FaInstance, HaInstance, ReduceStats,
+    ReduceStyle,
+};
 
 use crate::Aig;
 

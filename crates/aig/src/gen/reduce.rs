@@ -318,7 +318,6 @@ pub fn reduce_dadda(aig: &mut Aig, mut columns: Columns, stats: &mut ReduceStats
                 next.push(w + 1, co);
                 carries_into[w + 1] += 1;
                 i += 2;
-                remaining -= 1;
             }
             while i < col.len() {
                 next.push(w, col[i]);
@@ -377,7 +376,7 @@ mod dadda_tests {
             stats.full_adders + stats.half_adders
         };
         let dadda = build(reduce_dadda);
-        let wallace = build(|aig, cols, stats| reduce_wallace(aig, cols, stats));
+        let wallace = build(reduce_wallace);
         assert!(dadda <= wallace, "dadda {dadda} vs wallace {wallace}");
     }
 }

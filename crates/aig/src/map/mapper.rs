@@ -74,9 +74,8 @@ pub fn map_aig(aig: &Aig, lib: &Library, params: &MapParams) -> MappedNetlist {
                 });
             }
         }
-        let chosen = chosen.unwrap_or_else(|| {
-            panic!("no library match for node {var:?}; library incomplete")
-        });
+        let chosen = chosen
+            .unwrap_or_else(|| panic!("no library match for node {var:?}; library incomplete"));
         cost[var.index()] = chosen.cost;
         best[var.index()] = Some(chosen);
     }
@@ -105,8 +104,8 @@ pub fn map_aig(aig: &Aig, lib: &Library, params: &MapParams) -> MappedNetlist {
         }
         match aig.node(var) {
             Node::Const => {
-                let net = *tie_lo_net
-                    .get_or_insert_with(|| netlist.add_instance(lib.tie_lo(), vec![]));
+                let net =
+                    *tie_lo_net.get_or_insert_with(|| netlist.add_instance(lib.tie_lo(), vec![]));
                 net_of.insert(var, net);
             }
             Node::Input(_) => unreachable!("inputs pre-seeded"),
@@ -185,7 +184,10 @@ fn reduce_cut_support(tt: Tt, leaves: &[Var]) -> (Tt, Vec<Var>) {
             bits |= 1 << idx;
         }
     }
-    (Tt::from_bits(n, bits), kept.iter().map(|&i| leaves[i]).collect())
+    (
+        Tt::from_bits(n, bits),
+        kept.iter().map(|&i| leaves[i]).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -23,10 +23,7 @@ pub fn balance(aig: &Aig) -> Aig {
         let mut conjuncts: Vec<Lit> = Vec::new();
         collect_conjuncts(aig, var.lit(), &fanouts, true, &mut conjuncts);
         // Translate to new literals and build balanced, shallow first.
-        let mut lits: Vec<Lit> = conjuncts
-            .iter()
-            .map(|&l| Aig::translate(&map, l))
-            .collect();
+        let mut lits: Vec<Lit> = conjuncts.iter().map(|&l| Aig::translate(&map, l)).collect();
         lits.sort_by_key(|l| lvl[l.var().index()]);
         let before = new.num_nodes();
         map[var.index()] = crate::synth::balanced_and(&mut new, &lits);

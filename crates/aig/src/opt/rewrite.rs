@@ -116,7 +116,7 @@ pub fn rewrite_cuts(aig: &Aig, params: &RewriteParams) -> Aig {
 
 /// Picks the widest non-trivial cut (ties: deepest leaves are implied
 /// by enumeration order); `None` if only the unit cut exists.
-fn choose_cut<'a>(cuts: &'a [Cut], var: Var) -> Option<&'a Cut> {
+fn choose_cut(cuts: &[Cut], var: Var) -> Option<&Cut> {
     cuts.iter()
         .filter(|c| c.leaves != [var] && !c.leaves.is_empty())
         .max_by_key(|c| c.size())
@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn rewrite_preserves_function_small() {
         let aig = csa_multiplier(3);
-        for style in [ResynthStyle::Sop, ResynthStyle::Shannon, ResynthStyle::Mixed] {
+        for style in [
+            ResynthStyle::Sop,
+            ResynthStyle::Shannon,
+            ResynthStyle::Mixed,
+        ] {
             let params = RewriteParams {
                 style,
                 ..RewriteParams::default()

@@ -133,14 +133,14 @@ pub fn exhaustive_equiv_check(a: &Aig, b: &Aig) -> bool {
         for i in 0..high {
             inputs.push(if (assignment >> i) & 1 == 1 { !0 } else { 0 });
         }
-        let mask = if low == 6 { !0u64 } else { (1u64 << (1 << low)) - 1 };
+        let mask = if low == 6 {
+            !0u64
+        } else {
+            (1u64 << (1 << low)) - 1
+        };
         let oa = simulate_words(a, &inputs);
         let ob = simulate_words(b, &inputs);
-        if oa
-            .iter()
-            .zip(&ob)
-            .any(|(x, y)| (x ^ y) & mask != 0)
-        {
+        if oa.iter().zip(&ob).any(|(x, y)| (x ^ y) & mask != 0) {
             return false;
         }
     }

@@ -157,12 +157,12 @@ fn shannon_rec(aig: &mut Aig, tt: Tt, leaves: &[Lit], top: usize) -> Lit {
         return Lit::TRUE;
     }
     // Literal short-circuits.
-    for i in 0..top {
+    for (i, &leaf) in leaves.iter().enumerate().take(top) {
         if tt == Tt::var(vars, i) {
-            return leaves[i];
+            return leaf;
         }
         if tt == !Tt::var(vars, i) {
-            return !leaves[i];
+            return !leaf;
         }
     }
     let x = (0..top)
@@ -207,9 +207,7 @@ mod tests {
     use super::*;
 
     fn cover_tt(cover: &[Cube], vars: usize) -> Tt {
-        cover
-            .iter()
-            .fold(Tt::zero(vars), |acc, c| acc | c.tt(vars))
+        cover.iter().fold(Tt::zero(vars), |acc, c| acc | c.tt(vars))
     }
 
     #[test]

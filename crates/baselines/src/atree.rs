@@ -32,13 +32,7 @@ enum Role {
 /// signal and a MAJ-class signal exist over the same leaves; the block
 /// is *exact* when both signals equal XOR3/MAJ up to edge polarity.
 pub fn detect_blocks_atree(aig: &Aig) -> BlockReport {
-    let cuts = enumerate_cuts(
-        aig,
-        &CutParams {
-            k: 3,
-            max_cuts: 48,
-        },
-    );
+    let cuts = enumerate_cuts(aig, &CutParams { k: 3, max_cuts: 48 });
 
     let xor3_class = npn_canon(Tt::xor3()).tt;
     let maj3_class = npn_canon(Tt::maj3()).tt;
@@ -98,16 +92,28 @@ pub fn detect_blocks_atree(aig: &Aig) -> BlockReport {
                     let leaves = [cut.leaves[0], cut.leaves[1]];
                     let tt = cut.tt;
                     if tt == xor2 {
-                        ha_cand.entry(leaves).or_default().0.push((var, false, true));
+                        ha_cand
+                            .entry(leaves)
+                            .or_default()
+                            .0
+                            .push((var, false, true));
                     } else if tt == !xor2 {
                         ha_cand.entry(leaves).or_default().0.push((var, true, true));
                     } else if tt == and2 {
-                        ha_cand.entry(leaves).or_default().1.push((var, false, true));
+                        ha_cand
+                            .entry(leaves)
+                            .or_default()
+                            .1
+                            .push((var, false, true));
                     } else if tt == !and2 {
                         ha_cand.entry(leaves).or_default().1.push((var, true, true));
                     } else if npn_canon(tt).tt == and2_class {
                         // e.g. a & !b — NPN carry candidate only.
-                        ha_cand.entry(leaves).or_default().1.push((var, false, false));
+                        ha_cand
+                            .entry(leaves)
+                            .or_default()
+                            .1
+                            .push((var, false, false));
                     }
                 }
                 _ => {}

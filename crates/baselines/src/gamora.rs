@@ -220,10 +220,7 @@ mod tests {
         let mapped = aig::map::map_round_trip(&aig);
         let pre = detect_blocks_gamora(&aig, &model).npn_fa_count();
         let post = detect_blocks_gamora(&mapped, &model).npn_fa_count();
-        assert!(
-            post < pre,
-            "expected degradation: pre={pre} post={post}"
-        );
+        assert!(post < pre, "expected degradation: pre={pre} post={post}");
     }
 
     #[test]

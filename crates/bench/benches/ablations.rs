@@ -91,5 +91,10 @@ fn ablation_prune(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_phases, ablation_extraction, ablation_prune);
+criterion_group!(
+    benches,
+    ablation_phases,
+    ablation_extraction,
+    ablation_prune
+);
 criterion_main!(benches);

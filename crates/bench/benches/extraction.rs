@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use boole::{aig_to_egraph, extract_dag, pair_full_adders, reconstruct_aig, saturate, SaturateParams};
+use boole::{
+    aig_to_egraph, extract_dag, pair_full_adders, reconstruct_aig, saturate, SaturateParams,
+};
 
 fn bench_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("extraction");
@@ -30,8 +32,7 @@ fn bench_extraction(c: &mut Criterion) {
             &(&net, &extraction),
             |b, (net, extraction)| {
                 b.iter(|| {
-                    let (aig, fas) =
-                        reconstruct_aig(&net.egraph, extraction, n * 2, &net.outputs);
+                    let (aig, fas) = reconstruct_aig(&net.egraph, extraction, n * 2, &net.outputs);
                     (aig.num_ands(), fas.len())
                 })
             },

@@ -17,7 +17,7 @@ fn bench_params() -> SaturateParams {
 fn bench_saturation(c: &mut Criterion) {
     let mut group = c.benchmark_group("saturation");
     group.sample_size(10);
-    for n in [3usize] {
+    for n in [3usize, 4] {
         let aig = aig::gen::csa_multiplier(n);
         group.bench_with_input(BenchmarkId::new("csa_two_phase", n), &aig, |b, aig| {
             b.iter(|| {

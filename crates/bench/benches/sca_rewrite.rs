@@ -34,33 +34,24 @@ fn bench_verification(c: &mut Criterion) {
     for n in [4usize, 6] {
         let m = aig::gen::csa_multiplier_with_stats(n);
         let blocks = generator_blocks(&m);
-        group.bench_with_input(
-            BenchmarkId::new("csa_gate_level", n),
-            &m.aig,
-            |b, aig| {
-                b.iter(|| {
-                    verify_multiplier(
-                        aig,
-                        MulSpec::unsigned(n),
-                        &AdderBlocks::none(),
-                        &VerifyParams::default(),
-                    )
-                    .max_poly_size
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("csa_gate_level", n), &m.aig, |b, aig| {
+            b.iter(|| {
+                verify_multiplier(
+                    aig,
+                    MulSpec::unsigned(n),
+                    &AdderBlocks::none(),
+                    &VerifyParams::default(),
+                )
+                .max_poly_size
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("csa_with_blocks", n),
             &(&m.aig, &blocks),
             |b, (aig, blocks)| {
                 b.iter(|| {
-                    verify_multiplier(
-                        aig,
-                        MulSpec::unsigned(n),
-                        blocks,
-                        &VerifyParams::default(),
-                    )
-                    .max_poly_size
+                    verify_multiplier(aig, MulSpec::unsigned(n), blocks, &VerifyParams::default())
+                        .max_poly_size
                 })
             },
         );

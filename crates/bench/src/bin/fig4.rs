@@ -18,7 +18,10 @@ fn main() {
     let model = baselines::GamoraModel::default_trained();
 
     for family in [Family::Csa, Family::Booth] {
-        println!("== Figure 4 ({}) — post-mapping (ASAP7-like) ==", family.name());
+        println!(
+            "== Figure 4 ({}) — post-mapping (ASAP7-like) ==",
+            family.name()
+        );
         println!(
             "{:>5} {:>11} {:>9} {:>12} {:>11} {:>11} {:>13}",
             "bits", "UpperBound", "NPN-ABC", "NPN-Gamora", "NPN-BoolE", "Exact-ABC", "Exact-BoolE"

@@ -57,7 +57,11 @@ fn harvest(
                 continue;
             }
             let pattern = cone_pattern(aig, var.lit(), &cut.leaves, 0);
-            let map = if is_maj { &mut *maj_shapes } else { &mut *xor_shapes };
+            let map = if is_maj {
+                &mut *maj_shapes
+            } else {
+                &mut *xor_shapes
+            };
             *map.entry(pattern).or_insert(0) += 1;
         }
     }

@@ -24,11 +24,19 @@ fn main() {
     } else {
         aig
     };
-    println!("netlist: {} ANDs ({} inputs)", aig.num_ands(), aig.num_inputs());
+    println!(
+        "netlist: {} ANDs ({} inputs)",
+        aig.num_ands(),
+        aig.num_inputs()
+    );
 
     let t0 = Instant::now();
     let net: NetlistEGraph = aig_to_egraph(&aig);
-    println!("convert      : {:?} ({} classes)", t0.elapsed(), net.egraph.num_classes());
+    println!(
+        "convert      : {:?} ({} classes)",
+        t0.elapsed(),
+        net.egraph.num_classes()
+    );
 
     let mut params = if boole_bench::arg_flag("--small") {
         SaturateParams::small()
@@ -64,7 +72,11 @@ fn main() {
 
     let t3 = Instant::now();
     let extraction = extract_dag(&net.egraph);
-    println!("extract      : {:?} ({} classes chosen)", t3.elapsed(), extraction.len());
+    println!(
+        "extract      : {:?} ({} classes chosen)",
+        t3.elapsed(),
+        extraction.len()
+    );
 
     let t4 = Instant::now();
     let (out, fas) = reconstruct_aig(&net.egraph, &extraction, aig.num_inputs(), &net.outputs);

@@ -7,7 +7,13 @@ use aig::{Aig, Lit};
 /// Strategy: a random small combinational AIG over `n_inputs` inputs,
 /// as a sequence of gate instructions.
 fn random_aig(n_inputs: usize, max_gates: usize) -> impl Strategy<Value = Aig> {
-    let gate = (0u8..6, any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>());
+    let gate = (
+        0u8..6,
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+    );
     proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
         let mut aig = Aig::new();
         let mut lits: Vec<Lit> = aig.add_inputs(n_inputs);
@@ -153,15 +159,15 @@ mod egraph_props {
 
     fn random_expr() -> impl Strategy<Value = String> {
         // Random arithmetic-ish expression strings over +, *, vars.
-        let leaf = prop_oneof![Just("x".to_owned()), Just("y".to_owned()), Just("0".to_owned())];
+        let leaf = prop_oneof![
+            Just("x".to_owned()),
+            Just("y".to_owned()),
+            Just("0".to_owned())
+        ];
         leaf.prop_recursive(4, 32, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_flat_map(|(a, b)| {
-                    prop_oneof![
-                        Just(format!("(+ {a} {b})")),
-                        Just(format!("(* {a} {b})")),
-                    ]
-                })
+            (inner.clone(), inner).prop_flat_map(|(a, b)| {
+                prop_oneof![Just(format!("(+ {a} {b})")), Just(format!("(* {a} {b})")),]
+            })
         })
     }
 

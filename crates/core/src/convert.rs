@@ -62,11 +62,7 @@ pub fn aig_to_egraph<N: Analysis<BoolLang> + Default>(aig: &Aig) -> NetlistEGrap
     }
 }
 
-fn lit_id<N: Analysis<BoolLang>>(
-    egraph: &mut EGraph<BoolLang, N>,
-    vmap: &[Id],
-    lit: Lit,
-) -> Id {
+fn lit_id<N: Analysis<BoolLang>>(egraph: &mut EGraph<BoolLang, N>, vmap: &[Id], lit: Lit) -> Id {
     let id = vmap[lit.var().index()];
     if lit.is_complemented() {
         egraph.add(BoolLang::Not(id))

@@ -1,0 +1,342 @@
+//! A hand-rolled JSON writer (no serde) for machine-readable output.
+//!
+//! The workspace is dependency-free by design, so results are
+//! serialized through a tiny document model: build a [`Json`] value,
+//! then render it with [`Json::to_string`] (compact) or
+//! [`Json::pretty`] (indented). Object keys keep insertion order, so
+//! output is byte-stable across runs — the service's batch mode relies
+//! on that to compare concurrent and serial results.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use egraph::StopReason;
+
+use crate::pair::PairStats;
+use crate::pipeline::BooleResult;
+use crate::saturate::SaturationStats;
+
+/// A JSON document value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A duration, serialized as fractional milliseconds.
+    pub fn duration_ms(d: Duration) -> Json {
+        Json::Float(d.as_secs_f64() * 1e3)
+    }
+
+    /// Renders indented JSON (two spaces per level).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 prints the shortest round-trip form
+                    // but omits a decimal point for integral values;
+                    // that is still valid JSON.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, level + 1);
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, level, '{', '}', pairs.len(), |out, i| {
+                let (k, v) = &pairs[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                v.write(out, indent, level + 1);
+            }),
+        }
+    }
+}
+
+/// Compact rendering (no whitespace); use [`Json::pretty`] for
+/// indented output.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * (level + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Int(i64::from(n))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+/// Types with a canonical JSON representation.
+pub trait ToJson {
+    /// Converts to a [`Json`] document.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for StopReason {
+    fn to_json(&self) -> Json {
+        match self {
+            StopReason::Saturated => Json::str("saturated"),
+            StopReason::IterLimit(n) => Json::obj([("iter_limit", Json::from(*n))]),
+            StopReason::NodeLimit(n) => Json::obj([("node_limit", Json::from(*n))]),
+            StopReason::TimeLimit(d) => Json::obj([("time_limit_ms", Json::duration_ms(*d))]),
+            StopReason::Cancelled => Json::str("cancelled"),
+        }
+    }
+}
+
+impl ToJson for SaturationStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes_after_r1", Json::from(self.nodes_after_r1)),
+            ("nodes_after_r2", Json::from(self.nodes_after_r2)),
+            ("classes", Json::from(self.classes)),
+            ("r1_stop", self.r1_stop.to_json()),
+            ("r2_stop", self.r2_stop.to_json()),
+            ("r1_iterations", Json::from(self.r1_iterations)),
+            ("r2_iterations", Json::from(self.r2_iterations)),
+            ("pruned", Json::from(self.pruned)),
+            ("cancelled", Json::from(self.was_cancelled())),
+        ])
+    }
+}
+
+impl ToJson for PairStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fa_inserted", Json::from(self.fa_inserted)),
+            ("xor3_triples", Json::from(self.xor3_triples)),
+            ("maj_triples", Json::from(self.maj_triples)),
+        ])
+    }
+}
+
+impl ToJson for crate::pipeline::RecoveredFa {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "inputs",
+                Json::arr(self.inputs.iter().map(|l| Json::from(l.raw()))),
+            ),
+            ("sum", Json::from(self.sum.raw())),
+            ("carry", Json::from(self.carry.raw())),
+        ])
+    }
+}
+
+impl ToJson for BooleResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("exact_fa_count", Json::from(self.exact_fa_count())),
+            (
+                "reconstructed",
+                Json::obj([
+                    ("inputs", Json::from(self.reconstructed.num_inputs())),
+                    ("outputs", Json::from(self.reconstructed.num_outputs())),
+                    ("ands", Json::from(self.reconstructed.num_ands())),
+                ]),
+            ),
+            ("fas", Json::arr(self.fas.iter().map(ToJson::to_json))),
+            (
+                "original_fas",
+                Json::arr(self.original_fas.iter().map(ToJson::to_json)),
+            ),
+            ("saturation", self.saturation.to_json()),
+            ("pairing", self.pairing.to_json()),
+            ("runtime_ms", Json::duration_ms(self.runtime)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_is_deterministic() {
+        let doc = Json::obj([
+            ("b", Json::from(true)),
+            ("a", Json::from(1usize)),
+            ("s", Json::str("x\"y\\z\n")),
+            ("arr", Json::arr([Json::Null, Json::Float(1.5)])),
+            ("empty", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"b":true,"a":1,"s":"x\"y\\z\n","arr":[null,1.5],"empty":{}}"#
+        );
+        // Key order is insertion order, not sorted.
+        assert!(doc.to_string().find("\"b\"").unwrap() < doc.to_string().find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let doc = Json::obj([("k", Json::arr([Json::Int(1)]))]);
+        assert_eq!(doc.pretty(), "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let mut s = String::new();
+        write_escaped(&mut s, "\u{1}");
+        assert_eq!(s, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn boole_result_serializes() {
+        let aig = aig::gen::csa_multiplier(3);
+        let result = crate::BoolE::new(crate::BooleParams::small()).run(&aig);
+        let text = result.to_json().to_string();
+        assert!(text.contains("\"exact_fa_count\":"));
+        assert!(text.contains("\"saturation\":"));
+        assert!(text.contains("\"runtime_ms\":"));
+        // Stats sub-documents round through their own impls.
+        assert!(result
+            .saturation
+            .to_json()
+            .to_string()
+            .contains("nodes_after_r1"));
+        assert!(result.pairing.to_json().to_string().contains("fa_inserted"));
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod convert;
 pub mod extract;
+pub mod json;
 mod lang;
 pub mod pair;
 pub mod pipeline;
@@ -34,9 +35,13 @@ pub mod rules;
 pub mod saturate;
 
 pub use convert::{aig_to_egraph, NetlistEGraph};
+pub use egraph::CancelToken;
 pub use extract::{extract_dag, DagChoice, DagExtraction};
+pub use json::{Json, ToJson};
 pub use lang::{BoolLang, BoolOp};
 pub use pair::{pair_full_adders, PairStats};
-pub use pipeline::{BoolE, BooleParams, BooleResult, RecoveredFa};
+pub use pipeline::{
+    BoolE, BooleParams, BooleResult, Cancelled, Phase, PhaseCallback, PhaseEvent, RecoveredFa,
+};
 pub use reconstruct::reconstruct_aig;
 pub use saturate::{saturate, SaturateParams, SaturationStats};

@@ -70,8 +70,7 @@ pub fn pair_full_adders(egraph: &mut EGraph<BoolLang>) -> PairStats {
     // complements of the originals); keep only the lexicographically
     // smaller triple, otherwise the FA-maximizing extraction would
     // materialize and count both.
-    let pairable: std::collections::HashSet<[Id; 3]> =
-        pairs.iter().map(|(key, ..)| *key).collect();
+    let pairable: std::collections::HashSet<[Id; 3]> = pairs.iter().map(|(key, ..)| *key).collect();
     pairs.retain(|(key, ..)| {
         let negated: Option<Vec<Id>> = key
             .iter()

@@ -2,16 +2,98 @@
 //! two-phase saturation → FA pairing → DAG extraction → AIG
 //! reconstruction.
 
+use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aig::Aig;
+use egraph::CancelToken;
 
 use crate::convert::aig_to_egraph;
 use crate::extract::extract_dag;
 use crate::pair::{pair_full_adders, PairStats};
-pub use crate::reconstruct::RecoveredFa;
 use crate::reconstruct::reconstruct_aig;
+pub use crate::reconstruct::RecoveredFa;
 use crate::saturate::{saturate, SaturateParams, SaturationStats};
+
+/// A stage of the BoolE pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Netlist → e-graph conversion.
+    Convert,
+    /// Two-phase equality saturation (`R1` then `R2`).
+    Saturate,
+    /// XOR3/MAJ pairing into `fa` nodes.
+    Pair,
+    /// DAG-cost extraction.
+    Extract,
+    /// AIG reconstruction.
+    Reconstruct,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Convert,
+        Phase::Saturate,
+        Phase::Pair,
+        Phase::Extract,
+        Phase::Reconstruct,
+    ];
+
+    /// Stable lowercase name (used in JSON and job status displays).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Convert => "convert",
+            Phase::Saturate => "saturate",
+            Phase::Pair => "pair",
+            Phase::Extract => "extract",
+            Phase::Reconstruct => "reconstruct",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Progress notification emitted by [`BoolE::try_run`] around each
+/// pipeline phase.
+#[derive(Debug, Clone)]
+pub enum PhaseEvent {
+    /// The phase is about to run.
+    Started(Phase),
+    /// The phase completed, taking `elapsed`.
+    Finished {
+        /// Which phase finished.
+        phase: Phase,
+        /// Wall-clock time the phase took.
+        elapsed: Duration,
+    },
+}
+
+/// Observer callback for [`PhaseEvent`]s. Must be `Send + Sync`: the
+/// service invokes it from worker threads.
+pub type PhaseCallback = Arc<dyn Fn(&PhaseEvent) + Send + Sync>;
+
+/// Error returned by [`BoolE::try_run`] when the run's [`CancelToken`]
+/// fired before the pipeline completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The phase during (or before) which cancellation was observed.
+    pub phase: Phase,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoolE run cancelled during {} phase", self.phase)
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Configuration of a [`BoolE`] run.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +119,33 @@ impl BooleParams {
         BooleParams {
             saturate: SaturateParams::small(),
         }
+    }
+
+    /// Disables saturation's wall-clock limit (see
+    /// [`SaturateParams::without_time_limit`] for why deterministic
+    /// deployments want this).
+    pub fn without_time_limit(mut self) -> Self {
+        self.saturate = self.saturate.without_time_limit();
+        self
+    }
+
+    /// Attaches a shared cancellation flag, plumbed through to both
+    /// saturation phases and checked between pipeline phases.
+    pub fn with_cancellation(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.saturate.cancel = CancelToken::from_flag(flag);
+        self
+    }
+
+    /// Attaches a [`CancelToken`] (equivalent to
+    /// [`BooleParams::with_cancellation`]).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.saturate.cancel = token;
+        self
+    }
+
+    /// The cancellation token this run will observe.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.saturate.cancel
     }
 }
 
@@ -79,35 +188,122 @@ impl BooleResult {
 /// // Pre-mapping, the full adder tree is recovered completely.
 /// assert_eq!(result.exact_fa_count(), aig::gen::csa_fa_upper_bound(3));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct BoolE {
     params: BooleParams,
+    on_phase: Option<PhaseCallback>,
+}
+
+impl fmt::Debug for BoolE {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoolE")
+            .field("params", &self.params)
+            .field("on_phase", &self.on_phase.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
 }
 
 impl BoolE {
     /// Creates an engine with the given parameters.
     pub fn new(params: BooleParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            on_phase: None,
+        }
+    }
+
+    /// Registers an observer invoked with a [`PhaseEvent`] before and
+    /// after every pipeline phase (from the thread running the
+    /// pipeline).
+    pub fn with_phase_callback(mut self, callback: PhaseCallback) -> Self {
+        self.on_phase = Some(callback);
+        self
+    }
+
+    fn emit(&self, event: PhaseEvent) {
+        if let Some(cb) = &self.on_phase {
+            cb(&event);
+        }
+    }
+
+    /// Runs one phase with progress events, bailing out first if the
+    /// token already fired — the hook that makes a whole pipeline run
+    /// cooperatively killable between its coarse-grained stages.
+    fn phase<T>(
+        &self,
+        phase: Phase,
+        cancel: &CancelToken,
+        f: impl FnOnce() -> T,
+    ) -> Result<T, Cancelled> {
+        if cancel.is_cancelled() {
+            return Err(Cancelled { phase });
+        }
+        self.emit(PhaseEvent::Started(phase));
+        let start = Instant::now();
+        let out = f();
+        self.emit(PhaseEvent::Finished {
+            phase,
+            elapsed: start.elapsed(),
+        });
+        Ok(out)
     }
 
     /// Runs the full pipeline on a netlist.
+    ///
+    /// Ignores cancellation outcomes: if the run's token fires
+    /// mid-saturation the result is still produced from whatever the
+    /// e-graph held at that point. Use [`BoolE::try_run`] to abort
+    /// instead.
     pub fn run(&self, netlist: &Aig) -> BooleResult {
+        match self.run_pipeline(netlist, &CancelToken::new()) {
+            Ok(result) => result,
+            Err(c) => unreachable!("fresh token cannot cancel: {c}"),
+        }
+    }
+
+    /// Runs the full pipeline, aborting promptly with [`Cancelled`] if
+    /// the parameters' [`CancelToken`] fires: saturation stops at its
+    /// next internal check point, and later phases are skipped
+    /// entirely.
+    pub fn try_run(&self, netlist: &Aig) -> Result<BooleResult, Cancelled> {
+        self.run_pipeline(netlist, &self.params.saturate.cancel)
+    }
+
+    /// Shared pipeline body. `cancel` governs the phase-boundary
+    /// checks: [`BoolE::run`] passes a fresh token so the pipeline
+    /// always completes (even if the params token stopped saturation
+    /// early), while [`BoolE::try_run`] passes the params token so the
+    /// whole run aborts.
+    fn run_pipeline(&self, netlist: &Aig, cancel: &CancelToken) -> Result<BooleResult, Cancelled> {
         let start = Instant::now();
-        let net = aig_to_egraph(netlist);
-        let (mut net, saturation) = saturate(net, &self.params.saturate);
-        let pairing = pair_full_adders(&mut net.egraph);
-        let extraction = extract_dag(&net.egraph);
-        let original_fas = map_fas_to_original(&net);
-        let (reconstructed, fas) =
-            reconstruct_aig(&net.egraph, &extraction, netlist.num_inputs(), &net.outputs);
-        BooleResult {
+        let net = self.phase(Phase::Convert, cancel, || aig_to_egraph(netlist))?;
+        let (mut net, saturation) = self.phase(Phase::Saturate, cancel, || {
+            saturate(net, &self.params.saturate)
+        })?;
+        // Saturation checks the params token internally; a strict run
+        // that was cancelled mid-phase must not proceed to extraction.
+        if cancel.is_cancelled() && saturation.was_cancelled() {
+            return Err(Cancelled {
+                phase: Phase::Saturate,
+            });
+        }
+        let pairing = self.phase(Phase::Pair, cancel, || pair_full_adders(&mut net.egraph))?;
+        let extraction = self.phase(Phase::Extract, cancel, || extract_dag(&net.egraph))?;
+        let (original_fas, (reconstructed, fas)) =
+            self.phase(Phase::Reconstruct, cancel, || {
+                (
+                    map_fas_to_original(&net),
+                    reconstruct_aig(&net.egraph, &extraction, netlist.num_inputs(), &net.outputs),
+                )
+            })?;
+        Ok(BooleResult {
             reconstructed,
             fas,
             original_fas,
             saturation,
             pairing,
             runtime: start.elapsed(),
-        }
+        })
     }
 }
 
@@ -199,6 +395,50 @@ mod tests {
             result.exact_fa_count()
         );
         assert!(random_equiv_check(&mapped, &result.reconstructed, 8, 0xEA));
+    }
+
+    #[test]
+    fn phase_events_cover_all_phases_in_order() {
+        use std::sync::Mutex;
+        let events: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let engine = BoolE::new(BooleParams::small()).with_phase_callback(Arc::new(move |e| {
+            let tag = match e {
+                PhaseEvent::Started(p) => format!("start:{p}"),
+                PhaseEvent::Finished { phase, .. } => format!("end:{phase}"),
+            };
+            sink.lock().unwrap().push(tag);
+        }));
+        let result = engine.try_run(&csa_multiplier(3)).unwrap();
+        assert!(result.exact_fa_count() >= 1);
+        let seen = events.lock().unwrap().clone();
+        let expected: Vec<String> = Phase::ALL
+            .iter()
+            .flat_map(|p| [format!("start:{p}"), format!("end:{p}")])
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn try_run_aborts_on_pre_cancelled_token() {
+        let params = BooleParams::small();
+        params.cancel_token().cancel();
+        let err = BoolE::new(params)
+            .try_run(&csa_multiplier(3))
+            .expect_err("must cancel");
+        assert_eq!(err.phase, Phase::Convert);
+    }
+
+    #[test]
+    fn run_completes_despite_cancelled_params_token() {
+        // `run` ignores cancellation: saturation stops early but the
+        // pipeline still yields a (possibly weaker) valid result.
+        let params = BooleParams::small();
+        params.cancel_token().cancel();
+        let aig = csa_multiplier(3);
+        let result = BoolE::new(params).run(&aig);
+        assert!(result.saturation.was_cancelled());
+        assert!(random_equiv_check(&aig, &result.reconstructed, 8, 0xEB));
     }
 
     #[test]

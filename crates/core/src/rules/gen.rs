@@ -135,9 +135,7 @@ impl PatExpr {
             PatExpr::And(a, b) => a.eval(assignment) & b.eval(assignment),
             PatExpr::Or(a, b) => a.eval(assignment) | b.eval(assignment),
             PatExpr::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
-            PatExpr::Xor3(a, b, c) => {
-                a.eval(assignment) ^ b.eval(assignment) ^ c.eval(assignment)
-            }
+            PatExpr::Xor3(a, b, c) => a.eval(assignment) ^ b.eval(assignment) ^ c.eval(assignment),
             PatExpr::Maj(a, b, c) => {
                 let (x, y, z) = (a.eval(assignment), b.eval(assignment), c.eval(assignment));
                 (x & y) | (x & z) | (y & z)

@@ -21,7 +21,7 @@ mod gen;
 mod r1;
 mod r2;
 
-pub use gen::{permuted_variants, perms3, PatExpr};
+pub use gen::{perms3, permuted_variants, PatExpr};
 
 use egraph::{Analysis, Rewrite};
 
@@ -113,12 +113,9 @@ mod tests {
                         BoolLang::And(_) => go(p, c[0], env) & go(p, c[1], env),
                         BoolLang::Or(_) => go(p, c[0], env) | go(p, c[1], env),
                         BoolLang::Xor(_) => go(p, c[0], env) ^ go(p, c[1], env),
-                        BoolLang::Xor3(_) => {
-                            go(p, c[0], env) ^ go(p, c[1], env) ^ go(p, c[2], env)
-                        }
+                        BoolLang::Xor3(_) => go(p, c[0], env) ^ go(p, c[1], env) ^ go(p, c[2], env),
                         BoolLang::Maj(_) => {
-                            let (a, b, cc) =
-                                (go(p, c[0], env), go(p, c[1], env), go(p, c[2], env));
+                            let (a, b, cc) = (go(p, c[0], env), go(p, c[1], env), go(p, c[2], env));
                             (a & b) | (a & cc) | (b & cc)
                         }
                         BoolLang::Fa(_) | BoolLang::Fst(_) | BoolLang::Snd(_) => {
@@ -133,12 +130,12 @@ mod tests {
 
     fn check_sound(specs: &[RuleSpec]) {
         for (name, lhs, rhs) in specs {
-            let l: Pattern<BoolLang> = lhs.parse().unwrap_or_else(|e| {
-                panic!("rule {name}: bad lhs {lhs}: {e}")
-            });
-            let r: Pattern<BoolLang> = rhs.parse().unwrap_or_else(|e| {
-                panic!("rule {name}: bad rhs {rhs}: {e}")
-            });
+            let l: Pattern<BoolLang> = lhs
+                .parse()
+                .unwrap_or_else(|e| panic!("rule {name}: bad lhs {lhs}: {e}"));
+            let r: Pattern<BoolLang> = rhs
+                .parse()
+                .unwrap_or_else(|e| panic!("rule {name}: bad rhs {rhs}: {e}"));
             let vars = l.vars().to_vec();
             for v in r.vars() {
                 assert!(vars.contains(v), "rule {name}: unbound rhs var {v}");

@@ -27,9 +27,17 @@ pub fn table() -> Vec<RuleSpec> {
         ("demorgan-or-rev", "(& (! ?a) (! ?b))", "(! (| ?a ?b))"),
         // --- distributivity / factoring (4)
         ("dist-and-or", "(& ?a (| ?b ?c))", "(| (& ?a ?b) (& ?a ?c))"),
-        ("factor-and-or", "(| (& ?a ?b) (& ?a ?c))", "(& ?a (| ?b ?c))"),
+        (
+            "factor-and-or",
+            "(| (& ?a ?b) (& ?a ?c))",
+            "(& ?a (| ?b ?c))",
+        ),
         ("dist-or-and", "(| ?a (& ?b ?c))", "(& (| ?a ?b) (| ?a ?c))"),
-        ("factor-or-and", "(& (| ?a ?b) (| ?a ?c))", "(| ?a (& ?b ?c))"),
+        (
+            "factor-or-and",
+            "(& (| ?a ?b) (| ?a ?c))",
+            "(| ?a (& ?b ?c))",
+        ),
         // --- absorption (6)
         ("absorb-and", "(& ?a (| ?a ?b))", "?a"),
         ("absorb-or", "(| ?a (& ?a ?b))", "?a"),

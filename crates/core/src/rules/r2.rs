@@ -25,13 +25,9 @@ enum Target {
 
 fn classify(e: &PatExpr) -> Option<Target> {
     let tt: Vec<bool> = (0..8).map(|i| e.eval(i)).collect();
-    let xor3_tt: Vec<bool> = (0..8u32)
-        .map(|i| (i.count_ones() % 2) == 1)
-        .collect();
+    let xor3_tt: Vec<bool> = (0..8u32).map(|i| (i.count_ones() % 2) == 1).collect();
     let maj_tt: Vec<bool> = (0..8u32).map(|i| i.count_ones() >= 2).collect();
-    let xor2_tt: Vec<bool> = (0..8u32)
-        .map(|i| ((i & 1) ^ ((i >> 1) & 1)) == 1)
-        .collect();
+    let xor2_tt: Vec<bool> = (0..8u32).map(|i| ((i & 1) ^ ((i >> 1) & 1)) == 1).collect();
     let neg = |t: &[bool]| t.iter().map(|b| !b).collect::<Vec<bool>>();
     if tt == xor3_tt {
         Some(Target::Xor3)
@@ -77,9 +73,8 @@ fn curate(prefix: &str, candidates: Vec<PatExpr>, count: usize) -> Vec<RuleSpec>
         if seen.contains(&canon) {
             continue;
         }
-        let target = classify(&canon).unwrap_or_else(|| {
-            panic!("candidate {} is not a target function", canon.render())
-        });
+        let target = classify(&canon)
+            .unwrap_or_else(|| panic!("candidate {} is not a target function", canon.render()));
         seen.push(canon.clone());
         out.push((
             format!("{prefix}-{:02}", out.len()),
@@ -101,18 +96,12 @@ fn curate(prefix: &str, candidates: Vec<PatExpr>, count: usize) -> Vec<RuleSpec>
 /// XNOR as an AND of NANDs — the shape AIG netlists exhibit *before*
 /// any `|` nodes exist (harvested from mapped benchmarks).
 fn xnor_nand(a: PatExpr, b: PatExpr) -> PatExpr {
-    and(
-        not(and(not(a.clone()), b.clone())),
-        not(and(a, not(b))),
-    )
+    and(not(and(not(a.clone()), b.clone())), not(and(a, not(b))))
 }
 
 /// XOR as an AND of NANDs (`!(¬a·¬b) · !(a·b)`), similarly NAND-only.
 fn xor_nand(a: PatExpr, b: PatExpr) -> PatExpr {
-    and(
-        not(and(not(a.clone()), not(b.clone()))),
-        not(and(a, b)),
-    )
+    and(not(and(not(a.clone()), not(b.clone()))), not(and(a, b)))
 }
 
 /// The structural forms of 2-input XOR harvested from mapped/optimized
@@ -127,10 +116,7 @@ fn xor2_forms(a: PatExpr, b: PatExpr) -> Vec<PatExpr> {
             and(not(a.clone()), b.clone()),
         ),
         and(or(a.clone(), b.clone()), not(and(a.clone(), b.clone()))),
-        and(
-            or(a.clone(), b.clone()),
-            or(not(a.clone()), not(b.clone())),
-        ),
+        and(or(a.clone(), b.clone()), or(not(a.clone()), not(b.clone()))),
         not(and(
             not(and(a.clone(), not(b.clone()))),
             not(and(not(a.clone()), b.clone())),
@@ -155,10 +141,7 @@ fn xnor2_forms(a: PatExpr, b: PatExpr) -> Vec<PatExpr> {
             and(not(a.clone()), not(b.clone())),
         ),
         or(and(a.clone(), b.clone()), not(or(a.clone(), b.clone()))),
-        and(
-            or(not(a.clone()), b.clone()),
-            or(a.clone(), not(b.clone())),
-        ),
+        and(or(not(a.clone()), b.clone()), or(a.clone(), not(b.clone()))),
         not(and(or(a.clone(), b.clone()), not(and(a, b)))),
     ]
 }
@@ -247,7 +230,10 @@ pub fn maj_table() -> Vec<RuleSpec> {
         // Generate–propagate with plain OR.
         and(or(a.clone(), b.clone()), or(ab(), c.clone())),
         // OAI dual of the factored form.
-        not(and(not(ab()), not(and(c.clone(), or(a.clone(), b.clone()))))),
+        not(and(
+            not(ab()),
+            not(and(c.clone(), or(a.clone(), b.clone()))),
+        )),
         // Negated-input normalization.
         maj(not(a.clone()), not(b.clone()), not(c.clone())),
         // POS form and variants.
@@ -286,10 +272,7 @@ pub fn maj_table() -> Vec<RuleSpec> {
     }
     // Mux-Shannon with De-Morganed arms.
     cands.push(or(
-        and(
-            a.clone(),
-            not(and(not(b.clone()), not(c.clone()))),
-        ),
+        and(a.clone(), not(and(not(b.clone()), not(c.clone())))),
         and(not(a.clone()), bc()),
     ));
     cands.push(or(
@@ -297,10 +280,7 @@ pub fn maj_table() -> Vec<RuleSpec> {
         and(not(a.clone()), not(or(not(b.clone()), not(c.clone())))),
     ));
     cands.push(or(
-        and(
-            a.clone(),
-            not(and(not(b.clone()), not(c.clone()))),
-        ),
+        and(a.clone(), not(and(not(b.clone()), not(c.clone())))),
         and(not(a.clone()), not(or(not(b.clone()), not(c.clone())))),
     ));
     // Operand-swapped harvested variants (mapped netlists present both
@@ -369,10 +349,7 @@ pub fn xor_table() -> Vec<RuleSpec> {
         cands.push(xor(xor(lits(0), lits(1)), lits(2)));
         cands.push(xor(lits(0), xor(lits(1), lits(2))));
     }
-    cands.push(xor(
-        xor(not(a.clone()), not(b.clone())),
-        not(c.clone()),
-    ));
+    cands.push(xor(xor(not(a.clone()), not(b.clone())), not(c.clone())));
     // XNOR-of-XNOR compositions.
     cands.push(xor(not(xor(a.clone(), b.clone())), c.clone()));
     cands.push(xor(a.clone(), not(xor(b.clone(), c.clone()))));
@@ -425,10 +402,7 @@ pub fn xor_table() -> Vec<RuleSpec> {
         ),
         or(
             not(a.clone()),
-            and(
-                not(and(b.clone(), c.clone())),
-                or(b.clone(), c.clone()),
-            ),
+            and(not(and(b.clone(), c.clone())), or(b.clone(), c.clone())),
         ),
     ));
 

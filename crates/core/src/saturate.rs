@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use egraph::{BackoffScheduler, EGraph, Id, Language, Runner, StopReason};
+use egraph::{BackoffScheduler, CancelToken, EGraph, Id, Language, Runner, StopReason};
 
 use crate::convert::NetlistEGraph;
 use crate::rules;
@@ -33,6 +33,10 @@ pub struct SaturateParams {
     pub match_limit: usize,
     /// Prune redundant (commuted-duplicate) e-nodes after saturation.
     pub prune: bool,
+    /// Cooperative cancellation token checked by both saturation
+    /// phases. Defaults to a fresh (never-cancelled) token; clone a
+    /// shared token in to make the run externally killable.
+    pub cancel: CancelToken,
 }
 
 impl Default for SaturateParams {
@@ -46,6 +50,7 @@ impl Default for SaturateParams {
             lightweight: false,
             match_limit: 2_000,
             prune: true,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -59,6 +64,26 @@ impl SaturateParams {
             match_limit: 500,
             ..Self::default()
         }
+    }
+
+    /// The effectively-unbounded time limit installed by
+    /// [`SaturateParams::without_time_limit`] (one year; large enough
+    /// to never bind, small enough that the `/4`–`×3/4` phase split
+    /// cannot overflow).
+    pub const UNBOUNDED_TIME: Duration = Duration::from_secs(365 * 24 * 3600);
+
+    /// Disables the wall-clock limit, leaving iteration and node
+    /// limits as the only stopping criteria.
+    ///
+    /// Wall-clock stops are inherently nondeterministic — the same
+    /// netlist can yield different e-graphs depending on machine load,
+    /// which breaks result caching and concurrent-vs-serial
+    /// reproducibility. Service deployments should bound runtime with
+    /// per-job deadlines (cooperative cancellation) instead and keep
+    /// saturation itself deterministic.
+    pub fn without_time_limit(mut self) -> Self {
+        self.time_limit = Self::UNBOUNDED_TIME;
+        self
     }
 }
 
@@ -83,6 +108,14 @@ pub struct SaturationStats {
     pub pruned: usize,
 }
 
+impl SaturationStats {
+    /// Returns `true` if either phase was stopped by cooperative
+    /// cancellation.
+    pub fn was_cancelled(&self) -> bool {
+        self.r1_stop == StopReason::Cancelled || self.r2_stop == StopReason::Cancelled
+    }
+}
+
 /// Runs BoolE's two-phase saturation on a netlist e-graph: first `R1`
 /// expands the e-graph with equivalent Boolean forms, then `R2`
 /// identifies XOR/MAJ structures on top of it; finally, redundant
@@ -105,6 +138,7 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
         .with_node_limit(r1_node_limit)
         .with_time_limit(params.time_limit / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
+        .with_cancel_token(params.cancel.clone())
         .run(&r1);
     let nodes_after_r1 = runner1.egraph.total_number_of_nodes();
     let r1_stop = runner1.stop_reason.clone().expect("phase 1 ran");
@@ -116,6 +150,7 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
         .with_node_limit(params.node_limit)
         .with_time_limit(params.time_limit * 3 / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
+        .with_cancel_token(params.cancel.clone())
         .run(&r2);
     let mut egraph = runner2.egraph;
     let nodes_after_r2 = egraph.total_number_of_nodes();
@@ -218,6 +253,23 @@ mod tests {
         let pruned = prune_redundant(&mut egraph);
         assert_eq!(egraph.total_number_of_nodes(), before - pruned);
         egraph.check_invariants();
+    }
+
+    #[test]
+    fn cancelled_token_stops_both_phases() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let net = aig_to_egraph(&fa_netlist());
+        let params = SaturateParams {
+            cancel: cancel.clone(),
+            ..SaturateParams::small()
+        };
+        let (_, stats) = saturate(net, &params);
+        assert_eq!(stats.r1_stop, StopReason::Cancelled);
+        assert_eq!(stats.r2_stop, StopReason::Cancelled);
+        assert!(stats.was_cancelled());
+        assert_eq!(stats.r1_iterations, 0);
+        assert_eq!(stats.r2_iterations, 0);
     }
 
     #[test]

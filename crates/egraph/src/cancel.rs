@@ -1,0 +1,90 @@
+//! Cooperative cancellation for long-running saturation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cheaply clonable cancellation token.
+///
+/// All clones share one flag: once any clone calls [`cancel`], every
+/// holder observes [`is_cancelled`] as `true`. The [`Runner`] checks
+/// its token between iterations and between rules, so cancellation
+/// latency is bounded by a single rule search/apply step, not by a
+/// whole saturation run.
+///
+/// [`cancel`]: CancelToken::cancel
+/// [`is_cancelled`]: CancelToken::is_cancelled
+/// [`Runner`]: crate::Runner
+///
+/// ```
+/// use egraph::CancelToken;
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing shared flag (e.g. one owned by a service's
+    /// job table).
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken { flag }
+    }
+
+    /// The shared flag backing this token.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once any clone has requested cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        // Idempotent.
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn from_flag_aliases_the_arc() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let token = CancelToken::from_flag(Arc::clone(&flag));
+        flag.store(true, Ordering::Relaxed);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cross_thread_cancellation() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || remote.cancel());
+        handle.join().unwrap();
+        assert!(token.is_cancelled());
+    }
+}

@@ -262,9 +262,17 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             return (a, false);
         }
         // Keep the class with more parents as the root to move less data.
-        let a_parents = self.classes[a.index()].as_ref().map_or(0, |c| c.parents.len());
-        let b_parents = self.classes[b.index()].as_ref().map_or(0, |c| c.parents.len());
-        let (to, from) = if a_parents >= b_parents { (a, b) } else { (b, a) };
+        let a_parents = self.classes[a.index()]
+            .as_ref()
+            .map_or(0, |c| c.parents.len());
+        let b_parents = self.classes[b.index()]
+            .as_ref()
+            .map_or(0, |c| c.parents.len());
+        let (to, from) = if a_parents >= b_parents {
+            (a, b)
+        } else {
+            (b, a)
+        };
 
         self.unionfind.union_roots(to, from);
         self.n_unions += 1;
@@ -334,12 +342,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             .filter(|id| self.classes[id.index()].is_some())
             .collect();
         for id in ids {
-            let mut nodes = std::mem::take(
-                &mut self.classes[id.index()]
-                    .as_mut()
-                    .expect("live class")
-                    .nodes,
-            );
+            let mut nodes =
+                std::mem::take(&mut self.classes[id.index()].as_mut().expect("live class").nodes);
             for node in &mut nodes {
                 node.update_children(|c| self.unionfind.find_mut(c));
             }
@@ -399,7 +403,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             for node in dropped {
                 self.memo.remove(&node);
             }
-            self.classes[id.index()] = Some(EClass { nodes: kept, ..class });
+            self.classes[id.index()] = Some(EClass {
+                nodes: kept,
+                ..class
+            });
         }
         removed
     }
@@ -440,11 +447,9 @@ struct ClassIter<'a, L, D> {
 impl<'a, L, D> Iterator for ClassIter<'a, L, D> {
     type Item = &'a EClass<L, D>;
     fn next(&mut self) -> Option<Self::Item> {
-        for opt in self.inner.by_ref() {
-            if let Some(class) = opt {
-                self.remaining -= 1;
-                return Some(class);
-            }
+        if let Some(class) = self.inner.by_ref().flatten().next() {
+            self.remaining -= 1;
+            return Some(class);
         }
         None
     }

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod egraph;
 mod extract;
 mod language;
@@ -47,6 +48,7 @@ mod runner;
 mod symbol;
 mod unionfind;
 
+pub use crate::cancel::CancelToken;
 pub use crate::egraph::{EClass, EGraph};
 pub use crate::extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use crate::language::{Analysis, DidMerge, FromOp, FromOpError, Language, SymbolLang};

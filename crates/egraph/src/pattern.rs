@@ -220,7 +220,10 @@ impl<L: Language> Pattern<L> {
         egraph: &EGraph<L, N>,
         limit: usize,
     ) -> Vec<SearchMatches> {
-        assert!(egraph.is_clean(), "search requires a clean (rebuilt) e-graph");
+        assert!(
+            egraph.is_clean(),
+            "search requires a clean (rebuilt) e-graph"
+        );
         let mut total = 0usize;
         let mut out = Vec::new();
         let mut push = |m: Option<SearchMatches>| -> bool {
@@ -358,8 +361,7 @@ fn match_pattern<L: Language, N: Analysis<L>>(
                 }
                 // Match children pairwise, threading substitutions.
                 let mut partial = vec![subst.clone()];
-                for (&pat_child, &eclass_child) in
-                    pat_node.children().iter().zip(enode.children())
+                for (&pat_child, &eclass_child) in pat_node.children().iter().zip(enode.children())
                 {
                     if partial.is_empty() {
                         break;
@@ -406,7 +408,8 @@ fn sexp_into_pattern<L: FromOp>(
                 .map(|s| sexp_into_pattern(s, expr))
                 .collect::<Result<Vec<Id>, _>>()?;
             // Children of the L node refer to pattern-AST ids.
-            let node = L::from_op(op, children).map_err(|e| ParseRecExprError::new(e.to_string()))?;
+            let node =
+                L::from_op(op, children).map_err(|e| ParseRecExprError::new(e.to_string()))?;
             Ok(expr.add(ENodeOrVar::ENode(node)))
         }
     }

@@ -251,8 +251,7 @@ pub(crate) fn sexp_into_recexpr<L: FromOp>(
 ) -> Result<Id, ParseRecExprError> {
     match sexp {
         Sexp::Atom(op) => {
-            let node = L::from_op(op, vec![])
-                .map_err(|e| ParseRecExprError::new(e.to_string()))?;
+            let node = L::from_op(op, vec![]).map_err(|e| ParseRecExprError::new(e.to_string()))?;
             Ok(expr.add(node))
         }
         Sexp::List(items) => {
@@ -266,8 +265,8 @@ pub(crate) fn sexp_into_recexpr<L: FromOp>(
                 .iter()
                 .map(|s| sexp_into_recexpr(s, expr))
                 .collect::<Result<Vec<Id>, _>>()?;
-            let node = L::from_op(op, children)
-                .map_err(|e| ParseRecExprError::new(e.to_string()))?;
+            let node =
+                L::from_op(op, children).map_err(|e| ParseRecExprError::new(e.to_string()))?;
             Ok(expr.add(node))
         }
     }

@@ -3,9 +3,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::{Analysis, EGraph, Id, Language, RecExpr, Rewrite, SearchMatches, Symbol};
+use crate::{Analysis, CancelToken, EGraph, Id, Language, RecExpr, Rewrite, SearchMatches, Symbol};
 
 /// Why a [`Runner`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +20,8 @@ pub enum StopReason {
     NodeLimit(usize),
     /// The time limit was exceeded.
     TimeLimit(Duration),
+    /// A [`CancelToken`] requested cooperative cancellation.
+    Cancelled,
 }
 
 impl fmt::Display for StopReason {
@@ -27,6 +31,7 @@ impl fmt::Display for StopReason {
             StopReason::IterLimit(n) => write!(f, "hit iteration limit {n}"),
             StopReason::NodeLimit(n) => write!(f, "hit node limit {n}"),
             StopReason::TimeLimit(d) => write!(f, "hit time limit {d:?}"),
+            StopReason::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -204,6 +209,7 @@ pub struct Runner<L: Language, N: Analysis<L> = ()> {
     pub stop_reason: Option<StopReason>,
     limits: RunnerLimits,
     scheduler: Box<dyn RewriteScheduler<L, N>>,
+    cancel: CancelToken,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
@@ -234,6 +240,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             stop_reason: None,
             limits: RunnerLimits::default(),
             scheduler: Box::new(BackoffScheduler::default()),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -281,18 +288,37 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Attaches a shared cancellation flag. When another thread sets it,
+    /// the run stops with [`StopReason::Cancelled`] at the next check
+    /// point (iteration boundary or between rules within an iteration).
+    pub fn with_cancellation(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = CancelToken::from_flag(flag);
+        self
+    }
+
+    /// Attaches a [`CancelToken`] (equivalent to [`Runner::with_cancellation`]).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Runs saturation with `rules` until a stop condition; returns
     /// `self` with statistics filled in.
     pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
         let start = Instant::now();
         self.egraph.rebuild();
         for iteration in 0..self.limits.iter_limit {
+            if self.cancel.is_cancelled() {
+                self.stop_reason = Some(StopReason::Cancelled);
+                return self;
+            }
             let iter_start = Instant::now();
-            // Search phase (time limit enforced per rule, not only per
-            // iteration, so one explosive rule cannot stall the run).
+            // Search phase (time limit and cancellation enforced per
+            // rule, not only per iteration, so one explosive rule
+            // cannot stall the run or delay a cancel request).
             let mut all_matches = Vec::with_capacity(rules.len());
             for rule in rules {
-                if start.elapsed() > self.limits.time_limit {
+                if start.elapsed() > self.limits.time_limit || self.cancel.is_cancelled() {
                     all_matches.push(vec![]);
                     continue;
                 }
@@ -309,6 +335,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             for (rule, matches) in rules.iter().zip(&all_matches) {
                 if self.egraph.total_number_of_nodes() > self.limits.node_limit
                     || start.elapsed() > self.limits.time_limit
+                    || self.cancel.is_cancelled()
                 {
                     apply_aborted = true;
                     break;
@@ -337,6 +364,10 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 n_rebuilds,
             });
 
+            if self.cancel.is_cancelled() {
+                self.stop_reason = Some(StopReason::Cancelled);
+                return self;
+            }
             if saturated {
                 self.stop_reason = Some(StopReason::Saturated);
                 return self;
@@ -358,7 +389,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Extractor, AstSize, SymbolLang};
+    use crate::{AstSize, Extractor, SymbolLang};
 
     type RW = Rewrite<SymbolLang, ()>;
 
@@ -420,6 +451,29 @@ mod tests {
             .flat_map(|i| i.applied.values())
             .sum();
         assert!(total >= 1);
+    }
+
+    #[test]
+    fn pre_cancelled_run_stops_before_first_iteration() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let expr = "(+ a (+ b (+ c d)))".parse().unwrap();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_cancellation(token.flag())
+            .run(&math_rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Cancelled));
+        assert!(runner.iterations.is_empty());
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_change_behavior() {
+        let expr = "(+ 0 (* 1 x))".parse().unwrap();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_cancel_token(crate::CancelToken::new())
+            .run(&math_rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
     }
 
     #[test]

@@ -90,7 +90,10 @@ fn analysis_composes_with_rewriting() {
     let expr: RecExpr<SymbolLang> = "(+ (+ x 1) 2)".parse().unwrap();
     let runner = Runner::new(ConstFold).with_expr(&expr).run(&rules);
     let want: RecExpr<SymbolLang> = "(+ x 3)".parse().unwrap();
-    let found = runner.egraph.lookup_expr(&want).expect("folded form exists");
+    let found = runner
+        .egraph
+        .lookup_expr(&want)
+        .expect("folded form exists");
     assert_eq!(
         runner.egraph.find(found),
         runner.egraph.find(runner.roots[0])

@@ -127,7 +127,8 @@ fn retain_nodes_memo_coherence() {
     eg.retain_nodes(|_, node| node.children != [b, a]);
     assert_eq!(eg.lookup(&SymbolLang::new("f", vec![b, a])), None);
     assert_eq!(
-        eg.lookup(&SymbolLang::new("f", vec![a, b])).map(|i| eg.find(i)),
+        eg.lookup(&SymbolLang::new("f", vec![a, b]))
+            .map(|i| eg.find(i)),
         Some(eg.find(ab))
     );
     // Rewriting continues to work on the pruned graph.

@@ -1,0 +1,437 @@
+//! A tiny, dependency-free stand-in for the subset of the `proptest`
+//! API used by the workspace's property tests.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be vendored. This shim keeps the property tests
+//! *running* (deterministic pseudo-random generation, fixed case
+//! counts) with the same test source. It does not shrink failing
+//! inputs — a failure panics with the generating seed so the case can
+//! be replayed.
+
+use std::rc::Rc;
+
+/// Deterministic splitmix64 generator driving all value generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A value generator (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<W, F: Fn(Self::Value) -> W>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case, and `f`
+    /// lifts a strategy for depth `d` to one for depth `d + 1`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            lift: Rc::new(move |inner| f(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = self;
+        BoxedStrategy(Rc::new(move |rng| this.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+    type Value = W;
+    fn generate(&self, rng: &mut TestRng) -> W {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    lift: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut strat = self.base.clone();
+        for _ in 0..levels {
+            strat = (self.lift)(strat.clone());
+        }
+        strat.generate(rng)
+    }
+}
+
+/// Uniform choice among equally weighted alternatives
+/// (the backing type of [`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = self.end.wrapping_sub(self.start) as u64;
+                assert!(span > 0, "empty range strategy");
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The canonical strategy for `T` (stand-in for `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A.0);
+impl_strategy_tuple!(A.0, B.1);
+impl_strategy_tuple!(A.0, B.1, C.2);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Vec`s whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Builds a `Vec` strategy with lengths in `len` (exclusive end).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            element,
+            min: len.start,
+            max: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min) as u64;
+            let n = self.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property test: generates `cases` deterministic seeds and
+/// runs the body once per seed.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` once per case with a per-case deterministic RNG.
+    pub fn run(&mut self, test_name: &str, body: impl Fn(&mut TestRng)) {
+        for case in 0..self.config.cases {
+            let seed = 0xB001_E5EEDu64 ^ (u64::from(case)).wrapping_mul(0xD1B54A32D192ED03);
+            let mut rng = TestRng::seeded(seed);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(payload) = result {
+                eprintln!("proptest-shim: {test_name} failed at case {case} (seed {seed:#x})");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Uniformly picks one of the listed strategies per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests (see the real `proptest::proptest!`).
+///
+/// Supports `name in strategy` and `name: Type` argument forms and an
+/// optional leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg);
+            runner.run(stringify!($name), |prop_rng__| {
+                $crate::proptest!(@bind prop_rng__; $($args)*);
+                $body
+            });
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@bind $rng:ident; ) => {};
+    (@bind $rng:ident; $x:ident in $strat:expr, $($rest:tt)*) => {
+        let $x = $crate::Strategy::generate(&($strat), $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $x:ident in $strat:expr) => {
+        let $x = $crate::Strategy::generate(&($strat), $rng);
+    };
+    (@bind $rng:ident; $x:ident : $ty:ty, $($rest:tt)*) => {
+        let $x = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $x:ident : $ty:ty) => {
+        let $x = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Convenience glob import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng, TestRunner, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seeded(42);
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let s = (-(1i64 << 40)..(1i64 << 40)).generate(&mut rng);
+            assert!((-(1i64 << 40)..(1i64 << 40)).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::seeded(7);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_both_forms(a in 0u32..10, b: bool) {
+            prop_assert!(a < 10);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = prop_oneof![Just(1usize), Just(2usize)];
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        let mut rng = TestRng::seeded(11);
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng) >= 1);
+        }
+    }
+}

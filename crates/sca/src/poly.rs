@@ -155,7 +155,7 @@ impl Poly {
                 e.insert(coeff);
             }
             std::collections::btree_map::Entry::Occupied(mut e) => {
-                let new = &*e.get() + &coeff;
+                let new = e.get() + &coeff;
                 if new.is_zero() {
                     e.remove();
                 } else {

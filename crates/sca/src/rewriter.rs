@@ -289,8 +289,12 @@ mod tests {
                 &AdderBlocks::none(),
                 &VerifyParams::default(),
             );
-            let assisted =
-                verify_multiplier(&m.aig, MulSpec::unsigned(n), &blocks, &VerifyParams::default());
+            let assisted = verify_multiplier(
+                &m.aig,
+                MulSpec::unsigned(n),
+                &blocks,
+                &VerifyParams::default(),
+            );
             assert!(base.verified && assisted.verified);
             ratios.push(base.max_poly_size as f64 / assisted.max_poly_size as f64);
         }

@@ -1,0 +1,214 @@
+//! The `boole` CLI: batch symbolic reasoning with JSON output.
+//!
+//! ```text
+//! boole run <file.aag> [options]          one job from an ASCII AIGER file
+//! boole batch <dir> [options]             every *.aag under <dir>
+//! boole gen <spec> [<spec> ...] [options] generated benchmarks (csa:16,
+//!                                         booth:8:mapped, wallace:4:dch)
+//!
+//! options:
+//!   --workers N        worker threads (default: min(cpus, 4))
+//!   --serial           run inline on one thread, bypassing the pool and cache
+//!   --deadline-ms N    per-job deadline; expired jobs are cancelled
+//!   --params P         default | small | lightweight
+//!   --no-cache         skip the structural-hash result cache
+//!   --no-timing        omit wall-clock fields (canonical, reproducible JSON)
+//!   --compact          one-line JSON instead of pretty-printed
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use boole::json::{Json, ToJson};
+use boole::BooleParams;
+use boole_service::{run_spec_serial, GenSpec, JobOutcome, JobSpec, Service, ServiceConfig};
+
+struct Options {
+    workers: Option<usize>,
+    serial: bool,
+    deadline: Option<Duration>,
+    params: BooleParams,
+    use_cache: bool,
+    timing: bool,
+    pretty: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workers: None,
+        serial: false,
+        deadline: None,
+        params: BooleParams::default(),
+        use_cache: true,
+        timing: true,
+        pretty: true,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                let v = args.get(i + 1).ok_or("--workers needs a value")?;
+                opts.workers = Some(v.parse().map_err(|e| format!("bad --workers: {e}"))?);
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let v = args.get(i + 1).ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+                opts.deadline = Some(Duration::from_millis(ms));
+                i += 2;
+            }
+            "--params" => {
+                let v = args.get(i + 1).ok_or("--params needs a value")?;
+                opts.params = match v.as_str() {
+                    "default" => BooleParams::default(),
+                    "small" => BooleParams::small(),
+                    "lightweight" => BooleParams::lightweight(),
+                    other => return Err(format!("unknown --params {other:?}")),
+                };
+                i += 2;
+            }
+            "--serial" => {
+                opts.serial = true;
+                i += 1;
+            }
+            "--no-cache" => {
+                opts.use_cache = false;
+                i += 1;
+            }
+            "--no-timing" => {
+                opts.timing = false;
+                i += 1;
+            }
+            "--compact" => {
+                opts.pretty = false;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn make_spec(source_spec: JobSpec, opts: &Options) -> JobSpec {
+    // Service mode bounds runtime with per-job deadlines, not the
+    // pipeline's wall-clock limit: wall-clock stops vary with machine
+    // load, which would make results non-reproducible and cache-hostile.
+    let mut spec = source_spec.with_params(opts.params.clone().without_time_limit());
+    if let Some(deadline) = opts.deadline {
+        spec = spec.with_deadline(deadline);
+    }
+    if !opts.use_cache {
+        spec = spec.without_cache();
+    }
+    spec
+}
+
+fn execute(specs: Vec<JobSpec>, opts: &Options) -> Json {
+    let (outcomes, stats): (Vec<std::sync::Arc<JobOutcome>>, Option<Json>) = if opts.serial {
+        (specs.into_iter().map(run_spec_serial).collect(), None)
+    } else {
+        let mut config = ServiceConfig::default();
+        if let Some(workers) = opts.workers {
+            config = config.with_workers(workers);
+        }
+        let service = Service::new(config);
+        let outcomes = service.run_batch(specs);
+        let stats = service.shutdown();
+        (outcomes, Some(stats.to_json()))
+    };
+
+    let jobs = Json::arr(outcomes.iter().map(|outcome| {
+        let mut doc = outcome.to_json();
+        if opts.timing {
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.push(("timing".to_owned(), outcome.timing_json()));
+            }
+        }
+        doc
+    }));
+    let mut pairs = vec![("jobs".to_owned(), jobs)];
+    if opts.timing {
+        if let Some(stats) = stats {
+            pairs.push(("service".to_owned(), stats));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+fn usage() -> String {
+    "usage: boole <run <file.aag> | batch <dir> | gen <spec>...> [options]\n\
+     options: --workers N --serial --deadline-ms N --params default|small|lightweight\n\
+     \x20        --no-cache --no-timing --compact\n\
+     gen specs: csa:N | booth:N | wallace:N, optional suffix :mapped or :dch"
+        .to_owned()
+}
+
+fn collect_aag_files(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "aag"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .aag files under {}", dir.display()));
+    }
+    Ok(files)
+}
+
+fn run() -> Result<(Json, bool), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = args.split_first().ok_or_else(usage)?;
+    let (specs, opts) = match command.as_str() {
+        "run" => {
+            let (file, rest) = rest.split_first().ok_or("run: missing <file.aag>")?;
+            let opts = parse_options(rest)?;
+            (vec![make_spec(JobSpec::aag_file(file), &opts)], opts)
+        }
+        "batch" => {
+            let (dir, rest) = rest.split_first().ok_or("batch: missing <dir>")?;
+            let opts = parse_options(rest)?;
+            let specs = collect_aag_files(std::path::Path::new(dir))?
+                .into_iter()
+                .map(|p| make_spec(JobSpec::aag_file(p), &opts))
+                .collect();
+            (specs, opts)
+        }
+        "gen" => {
+            let split = rest
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .unwrap_or(rest.len());
+            let (spec_args, opt_args) = rest.split_at(split);
+            if spec_args.is_empty() {
+                return Err("gen: missing at least one <family:bits[:prep]> spec".to_owned());
+            }
+            let opts = parse_options(opt_args)?;
+            let specs = spec_args
+                .iter()
+                .map(|text| Ok(make_spec(JobSpec::generated(GenSpec::parse(text)?), &opts)))
+                .collect::<Result<Vec<_>, String>>()?;
+            (specs, opts)
+        }
+        "--help" | "-h" | "help" => return Err(usage()),
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    Ok((execute(specs, &opts), opts.pretty))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok((doc, pretty)) => {
+            if pretty {
+                println!("{}", doc.pretty());
+            } else {
+                println!("{doc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The structural-hash result cache.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::fingerprint::Fingerprint;
+use crate::job::ResultSummary;
+
+/// Cache key: netlist structure × result-relevant parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structural fingerprint of the submitted netlist.
+    pub netlist: Fingerprint,
+    /// Fingerprint of the pipeline parameters.
+    pub params: u64,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Summaries stored.
+    pub insertions: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A bounded, thread-safe map from [`CacheKey`] to completed
+/// [`ResultSummary`]s. Eviction is FIFO by insertion order — adequate
+/// for a working set of resubmitted netlists, and dependency-free.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<ResultSummary>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding up to `capacity` entries (0 disables
+    /// storage; lookups always miss).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<ResultSummary>> {
+        let inner = self.inner.lock().expect("cache poisoned");
+        match inner.map.get(key) {
+            Some(summary) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(summary))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `summary` under `key`, evicting the oldest entry if at
+    /// capacity. Re-inserting an existing key refreshes the value
+    /// without growing the eviction queue.
+    pub fn insert(&self, key: CacheKey, summary: Arc<ResultSummary>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.map.insert(key, summary).is_none() {
+            inner.order.push_back(key);
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            while inner.map.len() > self.capacity {
+                if let Some(victim) = inner.order.pop_front() {
+                    inner.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boole::{BoolE, BooleParams};
+
+    fn dummy_summary() -> Arc<ResultSummary> {
+        let aig = aig::gen::csa_multiplier(3);
+        let result = BoolE::new(BooleParams::small()).run(&aig);
+        Arc::new(ResultSummary::from(&result))
+    }
+
+    fn key(tag: u64) -> CacheKey {
+        CacheKey {
+            netlist: crate::fingerprint::Fingerprint([tag, !tag]),
+            params: 7,
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = ResultCache::new(8);
+        let summary = dummy_summary();
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), Arc::clone(&summary));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = ResultCache::new(2);
+        let summary = dummy_summary();
+        for i in 0..3 {
+            cache.insert(key(i), Arc::clone(&summary));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // Oldest key evicted, newest present.
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1), dummy_summary());
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let cache = ResultCache::new(2);
+        let summary = dummy_summary();
+        cache.insert(key(1), Arc::clone(&summary));
+        cache.insert(key(1), Arc::clone(&summary));
+        cache.insert(key(2), Arc::clone(&summary));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+}

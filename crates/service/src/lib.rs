@@ -1,0 +1,34 @@
+//! **boole-service** — a concurrent batch-reasoning server over the
+//! BoolE pipeline.
+//!
+//! The one-shot pipeline in the `boole` crate becomes a cacheable,
+//! cancellable, concurrently schedulable unit of work:
+//!
+//! * [`Service`] — a std-only worker pool (threads + mpsc) with a
+//!   bounded job queue. [`Service::submit`] returns a [`JobHandle`]
+//!   for status polling, cooperative cancellation, and blocking waits.
+//! * [`fingerprint_aig`] — a canonical topological hash over an AIG's
+//!   gates and outputs; the [`ResultCache`] keyed on it answers
+//!   resubmitted/isomorphic netlists without a saturation run.
+//! * Per-job deadlines: a watchdog thread cancels a job's
+//!   [`CancelToken`](boole::CancelToken) when its deadline passes; the
+//!   runner observes it between rules, so runaway jobs die without
+//!   poisoning the pool.
+//!
+//! The `boole` binary exposes this as a CLI: `boole run <file.aag>`,
+//! `boole batch <dir>`, `boole gen csa:16`, all with JSON results.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod fingerprint;
+mod job;
+mod service;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use fingerprint::{fingerprint_aig, fingerprint_params, Fingerprint};
+pub use job::{
+    GenFamily, GenPrep, GenSpec, JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict,
+    ResultSummary,
+};
+pub use service::{run_spec_serial, JobHandle, Service, ServiceConfig, ServiceStats};

@@ -1,0 +1,610 @@
+//! The concurrent batch-reasoning engine: a std-only worker pool with a
+//! bounded queue, per-job deadlines enforced by a watchdog thread, and
+//! the structural-hash result cache.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use boole::json::{Json, ToJson};
+use boole::{BoolE, CancelToken, PhaseEvent};
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::fingerprint::{fingerprint_aig, fingerprint_params};
+use crate::job::{JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict, ResultSummary};
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing pipelines (>= 1).
+    pub num_workers: usize,
+    /// Bounded queue depth; [`Service::submit`] blocks, and
+    /// [`Service::try_submit`] fails fast, once this many jobs wait.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching globally).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            num_workers: parallelism.clamp(1, 4),
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.num_workers = n.max(1);
+        self
+    }
+}
+
+/// Aggregate service counters (see also [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted by `submit`/`try_submit`.
+    pub submitted: u64,
+    /// Jobs that completed with a result.
+    pub completed: u64,
+    /// Jobs that ended cancelled.
+    pub cancelled: u64,
+    /// Jobs that failed to produce a netlist.
+    pub failed: u64,
+    /// Pipelines actually executed (cache misses that ran saturation).
+    pub pipelines_run: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+}
+
+impl ToJson for ServiceStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::Int(self.submitted as i64)),
+            ("completed", Json::Int(self.completed as i64)),
+            ("cancelled", Json::Int(self.cancelled as i64)),
+            ("failed", Json::Int(self.failed as i64)),
+            ("pipelines_run", Json::Int(self.pipelines_run as i64)),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Int(self.cache.hits as i64)),
+                    ("misses", Json::Int(self.cache.misses as i64)),
+                    ("insertions", Json::Int(self.cache.insertions as i64)),
+                    ("evictions", Json::Int(self.cache.evictions as i64)),
+                    ("entries", Json::from(self.cache.entries)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    pipelines_run: AtomicU64,
+}
+
+struct JobCell {
+    status: JobStatus,
+    outcome: Option<Arc<JobOutcome>>,
+}
+
+/// Shared per-job record: the handle, the queue entry, and the
+/// watchdog all point at one of these.
+struct JobState {
+    id: u64,
+    label: String,
+    cancel: CancelToken,
+    cell: Mutex<JobCell>,
+    done: Condvar,
+    submitted_at: Instant,
+}
+
+impl JobState {
+    fn is_terminal(&self) -> bool {
+        self.cell
+            .lock()
+            .expect("job cell poisoned")
+            .status
+            .is_terminal()
+    }
+
+    fn set_status(&self, status: JobStatus) {
+        let mut cell = self.cell.lock().expect("job cell poisoned");
+        if !cell.status.is_terminal() {
+            cell.status = status;
+        }
+    }
+
+    fn finalize(&self, verdict: JobVerdict, from_cache: bool) -> Arc<JobOutcome> {
+        let outcome = Arc::new(JobOutcome {
+            job_id: self.id,
+            label: self.label.clone(),
+            verdict,
+            from_cache,
+            service_time: self.submitted_at.elapsed(),
+        });
+        let mut cell = self.cell.lock().expect("job cell poisoned");
+        cell.status = outcome.status();
+        cell.outcome = Some(Arc::clone(&outcome));
+        self.done.notify_all();
+        outcome
+    }
+}
+
+/// A claim ticket for a submitted job.
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Service-assigned id (submission order, starting at 1).
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The spec's label.
+    pub fn label(&self) -> &str {
+        &self.state.label
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> JobStatus {
+        self.state
+            .cell
+            .lock()
+            .expect("job cell poisoned")
+            .status
+            .clone()
+    }
+
+    /// Requests cooperative cancellation. Running pipelines stop at
+    /// their next check point; queued jobs resolve as cancelled when a
+    /// worker dequeues them.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    pub fn wait(&self) -> Arc<JobOutcome> {
+        let mut cell = self.state.cell.lock().expect("job cell poisoned");
+        loop {
+            if let Some(outcome) = &cell.outcome {
+                return Arc::clone(outcome);
+            }
+            cell = self.state.done.wait(cell).expect("job cell poisoned");
+        }
+    }
+
+    /// Like [`JobHandle::wait`] with a timeout; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<JobOutcome>> {
+        let deadline = Instant::now() + timeout;
+        let mut cell = self.state.cell.lock().expect("job cell poisoned");
+        loop {
+            if let Some(outcome) = &cell.outcome {
+                return Some(Arc::clone(outcome));
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (next, timed_out) = self
+                .state
+                .done
+                .wait_timeout(cell, remaining)
+                .expect("job cell poisoned");
+            cell = next;
+            if timed_out.timed_out() && cell.outcome.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Min-heap entry for the deadline watchdog.
+struct DeadlineEntry {
+    due: Instant,
+    job: Arc<JobState>,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for DeadlineEntry {}
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due
+        // time on top.
+        other.due.cmp(&self.due)
+    }
+}
+
+#[derive(Default)]
+struct WatchdogQueue {
+    heap: BinaryHeap<DeadlineEntry>,
+    shutdown: bool,
+}
+
+/// The worker-shared end of the bounded job queue.
+type JobQueue = Mutex<Receiver<(JobSpec, Arc<JobState>)>>;
+
+struct Shared {
+    cache: ResultCache,
+    counters: Counters,
+    watchdog: Mutex<WatchdogQueue>,
+    watchdog_wake: Condvar,
+}
+
+/// A concurrent batch-reasoning server over the BoolE pipeline.
+///
+/// ```
+/// use boole_service::{GenSpec, JobSpec, Service, ServiceConfig};
+///
+/// let service = Service::new(ServiceConfig::default().with_workers(2));
+/// let job = service.submit(JobSpec::generated(GenSpec::parse("csa:3").unwrap()));
+/// let outcome = job.wait();
+/// assert!(outcome.summary().unwrap().exact_fa_count >= 1);
+/// service.shutdown();
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    sender: Option<SyncSender<(JobSpec, Arc<JobState>)>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Service {
+    /// Starts the worker pool and watchdog.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_capacity),
+            counters: Counters::default(),
+            watchdog: Mutex::new(WatchdogQueue::default()),
+            watchdog_wake: Condvar::new(),
+        });
+        let (sender, receiver) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let receiver: Arc<JobQueue> = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.num_workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("boole-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("boole-watchdog".to_owned())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn watchdog")
+        };
+        Service {
+            shared,
+            sender: Some(sender),
+            workers,
+            watchdog: Some(watchdog),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Builds the job record and installs the per-job token in the
+    /// spec's params (replacing any token the caller left there).
+    fn make_state(&self, spec: &mut JobSpec) -> Arc<JobState> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        spec.params = std::mem::take(&mut spec.params).with_cancel_token(cancel.clone());
+        Arc::new(JobState {
+            id,
+            label: spec.label.clone(),
+            cancel,
+            cell: Mutex::new(JobCell {
+                status: JobStatus::Queued,
+                outcome: None,
+            }),
+            done: Condvar::new(),
+            submitted_at: Instant::now(),
+        })
+    }
+
+    /// Accounts an accepted job: deadline registration + counters.
+    fn register(&self, deadline: Option<Duration>, state: &Arc<JobState>) {
+        if let Some(deadline) = deadline {
+            let mut queue = self.shared.watchdog.lock().expect("watchdog poisoned");
+            queue.heap.push(DeadlineEntry {
+                due: state.submitted_at + deadline,
+                job: Arc::clone(state),
+            });
+            self.shared.watchdog_wake.notify_one();
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Submits a job, blocking while the bounded queue is full.
+    pub fn submit(&self, mut spec: JobSpec) -> JobHandle {
+        let state = self.make_state(&mut spec);
+        let deadline = spec.deadline;
+        self.sender
+            .as_ref()
+            .expect("service alive")
+            .send((spec, Arc::clone(&state)))
+            .expect("worker pool alive");
+        self.register(deadline, &state);
+        JobHandle { state }
+    }
+
+    /// Submits a job unless the queue is full (non-blocking); the spec
+    /// is handed back untouched on rejection.
+    // The Err payload is deliberately the (large, netlist-carrying)
+    // spec itself so callers can retry without cloning up front.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, mut spec: JobSpec) -> Result<JobHandle, JobSpec> {
+        let state = self.make_state(&mut spec);
+        let deadline = spec.deadline;
+        match self
+            .sender
+            .as_ref()
+            .expect("service alive")
+            .try_send((spec, Arc::clone(&state)))
+        {
+            Ok(()) => {
+                self.register(deadline, &state);
+                Ok(JobHandle { state })
+            }
+            Err(TrySendError::Full((spec, _))) | Err(TrySendError::Disconnected((spec, _))) => {
+                Err(spec)
+            }
+        }
+    }
+
+    /// Submits every spec (blocking as needed), then waits for all, in
+    /// order.
+    pub fn run_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<Arc<JobOutcome>> {
+        let handles: Vec<JobHandle> = specs.into_iter().map(|s| self.submit(s)).collect();
+        handles.iter().map(JobHandle::wait).collect()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            pipelines_run: c.pipelines_run.load(Ordering::Relaxed),
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// Drains the queue, stops all threads, and returns final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        // Closing the channel lets each worker finish its current job
+        // and exit on the next recv.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        {
+            let mut queue = self.shared.watchdog.lock().expect("watchdog poisoned");
+            queue.shutdown = true;
+            self.shared.watchdog_wake.notify_all();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if self.sender.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+fn watchdog_loop(shared: &Shared) {
+    let mut queue = shared.watchdog.lock().expect("watchdog poisoned");
+    loop {
+        if queue.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        while queue.heap.peek().is_some_and(|e| e.due <= now) {
+            let entry = queue.heap.pop().expect("peeked");
+            if !entry.job.is_terminal() {
+                entry.job.cancel.cancel();
+            }
+        }
+        // Entries whose jobs already finished are dead weight until
+        // their deadline; purge them so a long-deadline service does
+        // not accumulate completed jobs' states.
+        queue.heap.retain(|e| !e.job.is_terminal());
+        match queue.heap.peek().map(|e| e.due) {
+            Some(due) => {
+                let wait = due.saturating_duration_since(Instant::now());
+                let (next, _) = shared
+                    .watchdog_wake
+                    .wait_timeout(queue, wait)
+                    .expect("watchdog poisoned");
+                queue = next;
+            }
+            None => {
+                queue = shared.watchdog_wake.wait(queue).expect("watchdog poisoned");
+            }
+        }
+    }
+}
+
+fn worker_loop(receiver: &JobQueue, shared: &Shared) {
+    loop {
+        // Scope the receiver lock to the dequeue. Waiting workers do
+        // block each other on `recv`, but the queue is the intended
+        // serialization point; the job itself runs unlocked.
+        let next = {
+            let receiver = receiver.lock().expect("receiver poisoned");
+            receiver.recv()
+        };
+        let Ok((spec, state)) = next else {
+            return; // channel closed: shutdown
+        };
+        // A panicking pipeline must not strand the JobHandle: convert
+        // the panic into a Failed outcome so wait() always returns and
+        // this worker survives to take the next job.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(&spec, &state, Some(shared))
+        }));
+        let outcome = run.unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "pipeline panicked".to_owned());
+            state.finalize(JobVerdict::Failed(format!("panic: {message}")), false)
+        });
+        debug_assert!(outcome.status().is_terminal());
+        match &outcome.verdict {
+            JobVerdict::Completed(_) => &shared.counters.completed,
+            JobVerdict::Cancelled { .. } => &shared.counters.cancelled,
+            JobVerdict::Failed(_) => &shared.counters.failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Resolves a job source into a netlist.
+fn load_netlist(source: &JobSource) -> Result<aig::Aig, String> {
+    match source {
+        JobSource::Netlist(aig) => Ok(aig.clone()),
+        JobSource::AagText(text) => {
+            aig::aiger::from_aag(text).map_err(|e| format!("parse error: {e:?}"))
+        }
+        JobSource::AagFile(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            aig::aiger::from_aag(&text)
+                .map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+        }
+        JobSource::Generate(spec) => Ok(spec.build()),
+    }
+}
+
+/// Runs one job to a terminal outcome. With `shared`, the result cache
+/// is consulted/populated and pipeline counters maintained; without it
+/// (the standalone serial path) the pipeline always runs.
+fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -> Arc<JobOutcome> {
+    if state.cancel.is_cancelled() {
+        return state.finalize(JobVerdict::Cancelled { phase: None }, false);
+    }
+    state.set_status(JobStatus::Running(None));
+    let netlist = match load_netlist(&spec.source) {
+        Ok(netlist) => netlist,
+        Err(err) => return state.finalize(JobVerdict::Failed(err), false),
+    };
+    let cache_key = CacheKey {
+        netlist: fingerprint_aig(&netlist),
+        params: fingerprint_params(&spec.params),
+    };
+    if spec.use_cache {
+        if let Some(shared) = shared {
+            if let Some(summary) = shared.cache.get(&cache_key) {
+                return state.finalize(JobVerdict::Completed(summary), true);
+            }
+        }
+    }
+    if let Some(shared) = shared {
+        shared
+            .counters
+            .pipelines_run
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let progress = Arc::clone(state);
+    let engine = BoolE::new(spec.params.clone()).with_phase_callback(Arc::new(move |event| {
+        if let PhaseEvent::Started(phase) = event {
+            progress.set_status(JobStatus::Running(Some(*phase)));
+        }
+    }));
+    match engine.try_run(&netlist) {
+        Ok(result) => {
+            let summary = Arc::new(ResultSummary::from(&result));
+            if spec.use_cache {
+                if let Some(shared) = shared {
+                    shared.cache.insert(cache_key, Arc::clone(&summary));
+                }
+            }
+            state.finalize(JobVerdict::Completed(summary), false)
+        }
+        Err(cancelled) => state.finalize(
+            JobVerdict::Cancelled {
+                phase: Some(cancelled.phase),
+            },
+            false,
+        ),
+    }
+}
+
+/// Runs a spec inline on the calling thread with no pool and no cache —
+/// the reference serial path (`boole --serial`, determinism tests).
+/// A `deadline` on the spec is still honored, via a one-shot timer
+/// thread standing in for the service's watchdog.
+pub fn run_spec_serial(mut spec: JobSpec) -> Arc<JobOutcome> {
+    let cancel = CancelToken::new();
+    spec.params = spec.params.with_cancel_token(cancel.clone());
+    let state = Arc::new(JobState {
+        id: 0,
+        label: spec.label.clone(),
+        cancel: cancel.clone(),
+        cell: Mutex::new(JobCell {
+            status: JobStatus::Queued,
+            outcome: None,
+        }),
+        done: Condvar::new(),
+        submitted_at: Instant::now(),
+    });
+    // `disarm` going out of scope (dropping the sender) wakes the
+    // timer early so it never outlives the job it guards.
+    let timer = spec.deadline.map(|deadline| {
+        let (disarm, armed) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            if let Err(mpsc::RecvTimeoutError::Timeout) = armed.recv_timeout(deadline) {
+                cancel.cancel();
+            }
+        });
+        (disarm, handle)
+    });
+    let outcome = execute_job(&spec, &state, None);
+    if let Some((disarm, handle)) = timer {
+        drop(disarm);
+        let _ = handle.join();
+    }
+    outcome
+}

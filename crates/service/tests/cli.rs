@@ -1,0 +1,111 @@
+//! End-to-end tests of the `boole` CLI binary.
+
+use std::process::Command;
+
+fn boole() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_boole"))
+}
+
+#[test]
+fn gen_batch_json_is_identical_across_serial_and_four_workers() {
+    let specs = [
+        "csa:2",
+        "csa:3",
+        "csa:4",
+        "booth:4",
+        "wallace:3",
+        "wallace:4",
+        "csa:3:mapped",
+        "csa:3:dch",
+    ];
+    let run = |extra: &[&str]| {
+        let output = boole()
+            .arg("gen")
+            .args(specs)
+            .args(["--params", "small", "--no-timing", "--compact"])
+            .args(extra)
+            .output()
+            .expect("spawn boole");
+        assert!(
+            output.status.success(),
+            "boole failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).expect("utf8 json")
+    };
+    let serial = run(&["--serial"]);
+    let concurrent = run(&["--workers", "4"]);
+    assert_eq!(
+        serial, concurrent,
+        "batch JSON must be byte-identical between serial and 4-worker runs"
+    );
+    assert!(serial.contains("\"status\":\"completed\""));
+}
+
+#[test]
+fn run_command_reads_an_aag_file() {
+    let dir = std::env::temp_dir().join(format!("boole-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fa.aag");
+    let mut netlist = aig::Aig::new();
+    let ins = netlist.add_inputs(3);
+    let (s, c) = aig::gen::full_adder(&mut netlist, ins[0], ins[1], ins[2]);
+    netlist.add_output("s", s);
+    netlist.add_output("c", c);
+    std::fs::write(&path, aig::aiger::to_aag(&netlist)).unwrap();
+
+    let output = boole()
+        .arg("run")
+        .arg(&path)
+        .args(["--params", "small", "--compact"])
+        .output()
+        .expect("spawn boole");
+    assert!(
+        output.status.success(),
+        "boole run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"status\":\"completed\""), "got: {stdout}");
+    assert!(stdout.contains("\"exact_fa_count\":"), "got: {stdout}");
+    assert!(!stdout.contains("\"exact_fa_count\":0"), "got: {stdout}");
+
+    // batch over the same directory finds the file.
+    let output = boole()
+        .arg("batch")
+        .arg(&dir)
+        .args(["--params", "small", "--compact"])
+        .output()
+        .expect("spawn boole");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("fa.aag"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deadline_flag_cancels_without_crashing() {
+    let output = boole()
+        .args(["gen", "csa:8", "--deadline-ms", "1", "--compact"])
+        .output()
+        .expect("spawn boole");
+    assert!(
+        output.status.success(),
+        "boole gen failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"status\":\"cancelled\""), "got: {stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    for args in [
+        &["frobnicate"][..],
+        &["gen"][..],
+        &["gen", "karatsuba:8"][..],
+        &["run"][..],
+    ] {
+        let output = boole().args(args).output().expect("spawn boole");
+        assert!(!output.status.success(), "args {args:?} should fail");
+    }
+}

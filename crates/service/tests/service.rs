@@ -1,0 +1,274 @@
+//! Integration tests for the batch-reasoning service: concurrent ==
+//! serial determinism, cache behavior, and cooperative cancellation.
+
+use std::time::{Duration, Instant};
+
+use boole::json::ToJson;
+use boole::BooleParams;
+use boole_service::{
+    run_spec_serial, GenSpec, JobSpec, JobStatus, JobVerdict, Service, ServiceConfig,
+};
+
+/// Eight distinct jobs mixing families, widths, and preparations.
+fn mixed_specs() -> Vec<JobSpec> {
+    [
+        "csa:2",
+        "csa:3",
+        "csa:4",
+        "booth:4",
+        "wallace:3",
+        "wallace:4",
+        "csa:3:mapped",
+        "csa:3:dch",
+    ]
+    .iter()
+    .map(|text| {
+        // No wall-clock stop: under CPU contention a time-bound phase
+        // stops at a load-dependent point, which would break the
+        // byte-identical contract this file asserts.
+        JobSpec::generated(GenSpec::parse(text).unwrap())
+            .with_params(BooleParams::small().without_time_limit())
+    })
+    .collect()
+}
+
+#[test]
+fn four_worker_batch_matches_serial_byte_for_byte() {
+    let service = Service::new(ServiceConfig {
+        num_workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 64,
+    });
+    let concurrent = service.run_batch(mixed_specs());
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.completed, 8);
+
+    let serial: Vec<_> = mixed_specs().into_iter().map(run_spec_serial).collect();
+    assert_eq!(concurrent.len(), serial.len());
+    for (c, s) in concurrent.iter().zip(&serial) {
+        assert_eq!(c.label, s.label);
+        // The canonical JSON excludes wall-clock timing by contract;
+        // everything else must agree byte-for-byte.
+        assert_eq!(
+            c.to_json().to_string(),
+            s.to_json().to_string(),
+            "job {} diverged between 4-worker and serial execution",
+            c.label
+        );
+        assert!(c.summary().unwrap().exact_fa_count >= 1 || c.label == "csa:2");
+    }
+}
+
+#[test]
+fn duplicate_netlists_serialize_identically_across_modes() {
+    // Two identical jobs: concurrently the second may be served from
+    // cache, serially it never is. The canonical JSON must not leak
+    // that difference.
+    let specs = || {
+        (0..2)
+            .map(|_| {
+                JobSpec::generated(GenSpec::parse("csa:3").unwrap())
+                    .with_params(BooleParams::small().without_time_limit())
+            })
+            .collect::<Vec<_>>()
+    };
+    let service = Service::new(ServiceConfig {
+        num_workers: 2,
+        queue_capacity: 4,
+        cache_capacity: 4,
+    });
+    let concurrent = service.run_batch(specs());
+    service.shutdown();
+    let serial: Vec<_> = specs().into_iter().map(run_spec_serial).collect();
+    for (c, s) in concurrent.iter().zip(&serial) {
+        assert_eq!(c.to_json().to_string(), s.to_json().to_string());
+    }
+}
+
+#[test]
+fn serial_path_honors_deadline() {
+    let spec = JobSpec::generated(GenSpec::parse("csa:8").unwrap())
+        .with_deadline(Duration::from_millis(1));
+    let outcome = run_spec_serial(spec);
+    assert!(
+        matches!(outcome.verdict, JobVerdict::Cancelled { .. }),
+        "serial deadline must cancel, got {:?}",
+        outcome.status()
+    );
+}
+
+#[test]
+fn resubmitted_netlist_is_answered_from_cache_without_saturation() {
+    let service = Service::new(ServiceConfig {
+        num_workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 8,
+    });
+    let spec =
+        || JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small());
+
+    let first = service.submit(spec()).wait();
+    assert!(!first.from_cache);
+    let after_first = service.stats();
+    assert_eq!(after_first.pipelines_run, 1);
+    assert_eq!(after_first.cache.misses, 1);
+    assert_eq!(after_first.cache.insertions, 1);
+
+    let second = service.submit(spec()).wait();
+    assert!(second.from_cache, "resubmission must hit the cache");
+    let after_second = service.stats();
+    // The key check: no second saturation run happened.
+    assert_eq!(after_second.pipelines_run, 1);
+    assert_eq!(after_second.cache.hits, 1);
+
+    // Identical payloads, not merely equal counters.
+    assert_eq!(
+        first.summary().unwrap().to_json().to_string(),
+        second.summary().unwrap().to_json().to_string()
+    );
+
+    // An *isomorphic* netlist (same structure, fresh object) also hits.
+    let iso =
+        JobSpec::netlist("iso", aig::gen::csa_multiplier(3)).with_params(BooleParams::small());
+    assert!(service.submit(iso).wait().from_cache);
+
+    // A different width misses.
+    let other =
+        JobSpec::netlist("other", aig::gen::csa_multiplier(4)).with_params(BooleParams::small());
+    assert!(!service.submit(other).wait().from_cache);
+
+    // Different params on the same netlist miss too.
+    let heavier = JobSpec::generated(GenSpec::parse("csa:3").unwrap())
+        .with_params(BooleParams::lightweight());
+    assert!(!service.submit(heavier).wait().from_cache);
+
+    service.shutdown();
+}
+
+#[test]
+fn one_ms_deadline_cancels_cooperatively_without_poisoning_the_pool() {
+    let service = Service::new(ServiceConfig {
+        num_workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 8,
+    });
+    // csa:8 saturates for many seconds under default params; a 1 ms
+    // deadline must kill it long before that.
+    let doomed = service.submit(
+        JobSpec::generated(GenSpec::parse("csa:8").unwrap())
+            .with_deadline(Duration::from_millis(1)),
+    );
+    let outcome = doomed.wait();
+    assert!(
+        matches!(outcome.verdict, JobVerdict::Cancelled { .. }),
+        "expected cancellation, got {:?}",
+        outcome.status()
+    );
+    assert_eq!(doomed.status(), JobStatus::Cancelled);
+
+    // The worker pool must remain fully functional afterwards.
+    let healthy = service.submit(
+        JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small()),
+    );
+    let outcome = healthy.wait();
+    assert!(outcome.summary().is_some(), "pool poisoned by cancellation");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn explicit_cancel_stops_a_large_job_mid_saturation() {
+    let service = Service::new(ServiceConfig {
+        num_workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+    });
+    // Give the job a huge budget so only cancellation can stop it soon.
+    let params = BooleParams {
+        saturate: boole::SaturateParams {
+            node_limit: 10_000_000,
+            time_limit: Duration::from_secs(600),
+            ..boole::SaturateParams::default()
+        },
+    };
+    let job =
+        service.submit(JobSpec::generated(GenSpec::parse("csa:8").unwrap()).with_params(params));
+
+    // Wait until the pipeline is actually running, then cancel.
+    let start = Instant::now();
+    while !matches!(job.status(), JobStatus::Running(_)) {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "job never started"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(200)); // let saturation get going
+    job.cancel();
+    let cancel_issued = Instant::now();
+    let outcome = job.wait();
+    let latency = cancel_issued.elapsed();
+    match &outcome.verdict {
+        JobVerdict::Cancelled { phase } => {
+            assert!(phase.is_some(), "cancellation should name the phase");
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    // Cooperative latency is bounded by one rule search/apply step.
+    assert!(
+        latency < Duration::from_secs(30),
+        "cancellation took {latency:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn queued_jobs_cancel_before_running() {
+    // One worker + a long job in front: the queued job is cancelled
+    // while it waits and must resolve with no pipeline phase.
+    let service = Service::new(ServiceConfig {
+        num_workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+    });
+    let blocker = service.submit(
+        JobSpec::generated(GenSpec::parse("csa:6").unwrap()).with_params(BooleParams::default()),
+    );
+    let queued = service.submit(
+        JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small()),
+    );
+    queued.cancel();
+    let outcome = queued.wait();
+    assert!(matches!(
+        outcome.verdict,
+        JobVerdict::Cancelled { phase: None }
+    ));
+    blocker.cancel();
+    blocker.wait();
+    service.shutdown();
+}
+
+#[test]
+fn failed_sources_are_reported_not_panicked() {
+    let service = Service::new(ServiceConfig {
+        num_workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+    });
+    let missing = service.submit(JobSpec::aag_file("/nonexistent/never.aag"));
+    let outcome = missing.wait();
+    assert!(matches!(outcome.verdict, JobVerdict::Failed(_)));
+    let garbled = service.submit(JobSpec {
+        label: "garbled".to_owned(),
+        source: boole_service::JobSource::AagText("not an aiger file".to_owned()),
+        params: BooleParams::small(),
+        deadline: None,
+        use_cache: true,
+    });
+    assert!(matches!(garbled.wait().verdict, JobVerdict::Failed(_)));
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 2);
+}

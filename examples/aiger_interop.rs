@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Binary round trip.
     let bytes = aig::aiger::to_aig_binary(&aig);
-    println!("binary .aig: {} bytes (delta-coded AND section)", bytes.len());
+    println!(
+        "binary .aig: {} bytes (delta-coded AND section)",
+        bytes.len()
+    );
     let from_binary = aig::aiger::from_aig_binary(&bytes)?;
 
     assert!(aig::sim::random_equiv_check(&from_text, &from_binary, 8, 7));

@@ -49,6 +49,9 @@ fn main() {
         );
     }
 
-    assert!(aig::sim::exhaustive_equiv_check(&mapped, &result.reconstructed));
+    assert!(aig::sim::exhaustive_equiv_check(
+        &mapped,
+        &result.reconstructed
+    ));
     println!("reconstructed netlist verified equivalent (exhaustive)");
 }

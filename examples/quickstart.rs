@@ -24,7 +24,9 @@ fn main() {
 
     println!(
         "saturation: {} e-nodes after R1, {} after R2, {} pruned",
-        result.saturation.nodes_after_r1, result.saturation.nodes_after_r2, result.saturation.pruned
+        result.saturation.nodes_after_r1,
+        result.saturation.nodes_after_r2,
+        result.saturation.pruned
     );
     println!(
         "pairing: {} fa nodes inserted ({} xor3 triples, {} maj triples)",
