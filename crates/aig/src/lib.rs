@@ -5,6 +5,10 @@
 //! * [`Aig`] — a structurally hashed AIG with constant folding,
 //!   AIGER text I/O ([`aiger`]), and 64-way bit-parallel simulation
 //!   ([`sim`]).
+//! * Format-agnostic netlist ingestion ([`netlist`]): BLIF ([`blif`])
+//!   and structural-Verilog ([`verilog`]) frontends behind the
+//!   [`netlist::Netlist`] trait, dispatched by file extension via
+//!   [`netlist::read_netlist`].
 //! * Arithmetic benchmark generators ([`gen`]): unsigned carry-save
 //!   array (CSA) multipliers, signed radix-4 Booth multipliers, and the
 //!   adder building blocks they share.
@@ -31,13 +35,19 @@
 
 mod aig;
 pub mod aiger;
+pub mod blif;
 pub mod cut;
 pub mod gen;
 pub mod map;
+pub mod netlist;
 pub mod npn;
 pub mod opt;
 pub mod sim;
 pub mod synth;
+#[cfg(feature = "test-util")]
+pub mod test_util;
 pub mod tt;
+pub mod verilog;
 
 pub use crate::aig::{Aig, Lit, Node, Var};
+pub use crate::netlist::{read_netlist, write_netlist, Netlist, NetlistError, NetlistErrorKind};

@@ -1,0 +1,56 @@
+//! Proptest strategies shared by the workspace's test suites.
+//!
+//! Enabled with the `test-util` feature so the strategies (and the
+//! proptest shim they pull in) stay out of production builds; test
+//! targets opt in via a dev-dependency on `aig` with the feature on.
+
+use proptest::prelude::*;
+
+use crate::{Aig, Lit};
+
+/// Strategy: a random small combinational AIG over `n_inputs` inputs,
+/// built from a generated sequence of gate instructions (AND/OR/XOR/
+/// MUX/MAJ/XOR3 over randomly complemented earlier signals). The last
+/// few signals become outputs with alternating polarity, so consumers
+/// exercise complemented-output paths too.
+///
+/// This is the one definition of "an arbitrary netlist" used by the
+/// frontend round-trip suites in `crates/aig`, the fingerprint suites
+/// in `crates/service`, and the cross-crate properties in
+/// `crates/bench` — widen it here and every suite widens together.
+pub fn random_aig(n_inputs: usize, max_gates: usize) -> impl Strategy<Value = Aig> {
+    let gate = (
+        0u8..6,
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+    );
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut aig = Aig::new();
+        let mut lits: Vec<Lit> = aig.add_inputs(n_inputs);
+        for (op, a, b, na, nb) in gates {
+            let x = lits[a as usize % lits.len()] ^ na;
+            let y = lits[b as usize % lits.len()] ^ nb;
+            let lit = match op {
+                0 => aig.and(x, y),
+                1 => aig.or(x, y),
+                2 => aig.xor(x, y),
+                3 => aig.mux(x, y, !x),
+                4 => {
+                    let z = lits[(a as usize + b as usize) % lits.len()];
+                    aig.maj(x, y, z)
+                }
+                _ => {
+                    let z = lits[(a as usize ^ b as usize) % lits.len()];
+                    aig.xor3(x, y, z)
+                }
+            };
+            lits.push(lit);
+        }
+        for (i, lit) in lits.iter().rev().take(3).enumerate() {
+            aig.add_output(format!("y{i}"), *lit ^ (i % 2 == 1));
+        }
+        aig
+    })
+}

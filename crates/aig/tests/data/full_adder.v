@@ -1,0 +1,12 @@
+// Hand-written structural-Verilog mirror of aig::gen::full_adder:
+// a 3-input XOR for the sum, discrete AND/OR majority for the carry.
+module full_adder (a, b, cin, s, c);
+  input a, b, cin;
+  output s, c;
+  wire ab, ac, bc;
+  xor x0 (s, a, b, cin);
+  and g0 (ab, a, b);
+  and g1 (ac, a, cin);
+  and g2 (bc, b, cin);
+  or  o0 (c, ab, ac, bc);
+endmodule

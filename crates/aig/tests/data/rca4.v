@@ -1,0 +1,32 @@
+// Hand-written structural-Verilog mirror of a 4-bit ripple-carry
+// adder (aig::gen::ripple_carry_adder, cin = 0): XOR chains for sums,
+// AND/OR majorities for carries. Bit 0 is a half adder (cin is 0).
+module rca4 (a0, a1, a2, a3, b0, b1, b2, b3, s0, s1, s2, s3, cout);
+  input a0, a1, a2, a3, b0, b1, b2, b3;
+  output s0, s1, s2, s3, cout;
+  wire c1, c2, c3;
+  wire ab1, ac1, bc1;
+  wire ab2, ac2, bc2;
+  wire ab3, ac3, bc3;
+
+  xor sx0 (s0, a0, b0);
+  and cg0 (c1, a0, b0);
+
+  xor sx1 (s1, a1, b1, c1);
+  and cg1a (ab1, a1, b1);
+  and cg1b (ac1, a1, c1);
+  and cg1c (bc1, b1, c1);
+  or  cg1 (c2, ab1, ac1, bc1);
+
+  xor sx2 (s2, a2, b2, c2);
+  and cg2a (ab2, a2, b2);
+  and cg2b (ac2, a2, c2);
+  and cg2c (bc2, b2, c2);
+  or  cg2 (c3, ab2, ac2, bc2);
+
+  xor sx3 (s3, a3, b3, c3);
+  and cg3a (ab3, a3, b3);
+  and cg3b (ac3, a3, c3);
+  and cg3c (bc3, b3, c3);
+  or  cg3 (cout, ab3, ac3, bc3);
+endmodule

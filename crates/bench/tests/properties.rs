@@ -2,47 +2,7 @@
 
 use proptest::prelude::*;
 
-use aig::{Aig, Lit};
-
-/// Strategy: a random small combinational AIG over `n_inputs` inputs,
-/// as a sequence of gate instructions.
-fn random_aig(n_inputs: usize, max_gates: usize) -> impl Strategy<Value = Aig> {
-    let gate = (
-        0u8..6,
-        any::<u16>(),
-        any::<u16>(),
-        any::<bool>(),
-        any::<bool>(),
-    );
-    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
-        let mut aig = Aig::new();
-        let mut lits: Vec<Lit> = aig.add_inputs(n_inputs);
-        for (op, a, b, na, nb) in gates {
-            let x = lits[a as usize % lits.len()] ^ na;
-            let y = lits[b as usize % lits.len()] ^ nb;
-            let lit = match op {
-                0 => aig.and(x, y),
-                1 => aig.or(x, y),
-                2 => aig.xor(x, y),
-                3 => aig.mux(x, y, !x),
-                4 => {
-                    let z = lits[(a as usize + b as usize) % lits.len()];
-                    aig.maj(x, y, z)
-                }
-                _ => {
-                    let z = lits[(a as usize ^ b as usize) % lits.len()];
-                    aig.xor3(x, y, z)
-                }
-            };
-            lits.push(lit);
-        }
-        // Expose the last few signals as outputs.
-        for (i, lit) in lits.iter().rev().take(3).enumerate() {
-            aig.add_output(format!("y{i}"), *lit);
-        }
-        aig
-    })
-}
+use aig::test_util::random_aig;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

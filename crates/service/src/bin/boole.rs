@@ -1,8 +1,10 @@
 //! The `boole` CLI: batch symbolic reasoning with JSON output.
 //!
 //! ```text
-//! boole run <file.aag> [options]          one job from an ASCII AIGER file
-//! boole batch <dir> [options]             every *.aag under <dir>
+//! boole run <netlist> [options]           one job from a netlist file
+//!                                         (.aag, .aig, .blif, .v)
+//! boole batch <dir> [options]             every supported netlist under
+//!                                         <dir>, formats freely mixed
 //! boole gen <spec> [<spec> ...] [options] generated benchmarks (csa:16,
 //!                                         booth:8:mapped, wallace:4:dch)
 //!
@@ -103,7 +105,7 @@ fn make_spec(source_spec: JobSpec, opts: &Options) -> JobSpec {
     spec
 }
 
-fn execute(specs: Vec<JobSpec>, opts: &Options) -> Json {
+fn execute(specs: Vec<JobSpec>, opts: &Options) -> (Json, bool) {
     let (outcomes, stats): (Vec<std::sync::Arc<JobOutcome>>, Option<Json>) = if opts.serial {
         (specs.into_iter().map(run_spec_serial).collect(), None)
     } else {
@@ -117,6 +119,9 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> Json {
         (outcomes, Some(stats.to_json()))
     };
 
+    let any_failed = outcomes
+        .iter()
+        .any(|o| matches!(o.status(), boole_service::JobStatus::Failed));
     let jobs = Json::arr(outcomes.iter().map(|outcome| {
         let mut doc = outcome.to_json();
         if opts.timing {
@@ -132,45 +137,72 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> Json {
             pairs.push(("service".to_owned(), stats));
         }
     }
-    Json::Obj(pairs)
+    (Json::Obj(pairs), any_failed)
 }
 
 fn usage() -> String {
-    "usage: boole <run <file.aag> | batch <dir> | gen <spec>...> [options]\n\
+    "usage: boole <run <netlist> | batch <dir> | gen <spec>...> [options]\n\
+     netlists: .aag (ASCII AIGER), .aig (binary AIGER), .blif, .v (structural Verilog);\n\
+     \x20         batch mixes formats freely\n\
      options: --workers N --serial --deadline-ms N --params default|small|lightweight\n\
      \x20        --no-cache --no-timing --compact\n\
      gen specs: csa:N | booth:N | wallace:N, optional suffix :mapped or :dch"
         .to_owned()
 }
 
-fn collect_aag_files(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, String> {
-    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == "aag"))
-        .collect();
+/// Collects every supported netlist under `dir`, recursively: real
+/// benchmark suites (e.g. the EPFL checkout) nest circuits in
+/// subdirectories. The listing is sorted for reproducible job order.
+fn collect_netlist_files(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current)
+            .map_err(|e| format!("cannot read directory {}: {e}", current.display()))?;
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .extension()
+                .and_then(|ext| ext.to_str())
+                .is_some_and(aig::netlist::is_supported_extension)
+            {
+                files.push(path);
+            }
+        }
+    }
     files.sort();
     if files.is_empty() {
-        return Err(format!("no .aag files under {}", dir.display()));
+        return Err(format!(
+            "no netlist files (.aag/.aig/.blif/.v) under {}",
+            dir.display()
+        ));
     }
     Ok(files)
 }
 
-fn run() -> Result<(Json, bool), String> {
+struct RunPlan {
+    doc: Json,
+    pretty: bool,
+    any_failed: bool,
+}
+
+fn run() -> Result<RunPlan, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = args.split_first().ok_or_else(usage)?;
     let (specs, opts) = match command.as_str() {
         "run" => {
-            let (file, rest) = rest.split_first().ok_or("run: missing <file.aag>")?;
+            let (file, rest) = rest.split_first().ok_or("run: missing <netlist file>")?;
             let opts = parse_options(rest)?;
-            (vec![make_spec(JobSpec::aag_file(file), &opts)], opts)
+            (vec![make_spec(JobSpec::file(file), &opts)], opts)
         }
         "batch" => {
             let (dir, rest) = rest.split_first().ok_or("batch: missing <dir>")?;
             let opts = parse_options(rest)?;
-            let specs = collect_aag_files(std::path::Path::new(dir))?
+            let specs = collect_netlist_files(std::path::Path::new(dir))?
                 .into_iter()
-                .map(|p| make_spec(JobSpec::aag_file(p), &opts))
+                .map(|p| make_spec(JobSpec::file(p), &opts))
                 .collect();
             (specs, opts)
         }
@@ -193,18 +225,30 @@ fn run() -> Result<(Json, bool), String> {
         "--help" | "-h" | "help" => return Err(usage()),
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     };
-    Ok((execute(specs, &opts), opts.pretty))
+    let (doc, any_failed) = execute(specs, &opts);
+    Ok(RunPlan {
+        doc,
+        pretty: opts.pretty,
+        any_failed,
+    })
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok((doc, pretty)) => {
-            if pretty {
-                println!("{}", doc.pretty());
+        Ok(plan) => {
+            if plan.pretty {
+                println!("{}", plan.doc.pretty());
             } else {
-                println!("{doc}");
+                println!("{}", plan.doc);
             }
-            ExitCode::SUCCESS
+            // Failed jobs (unreadable/unparseable netlists) still print
+            // their JSON error record, but the exit code must reflect
+            // them so scripts and CI notice.
+            if plan.any_failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(message) => {
             eprintln!("{message}");

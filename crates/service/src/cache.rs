@@ -1,6 +1,6 @@
 //! The structural-hash result cache.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -32,8 +32,14 @@ pub struct CacheStats {
 }
 
 /// A bounded, thread-safe map from [`CacheKey`] to completed
-/// [`ResultSummary`]s. Eviction is FIFO by insertion order — adequate
-/// for a working set of resubmitted netlists, and dependency-free.
+/// [`ResultSummary`]s.
+///
+/// Eviction is LRU: every hit (and every re-insertion) promotes its
+/// entry, so a hot working set of resubmitted netlists survives a
+/// stream of one-off submissions that would have flushed a FIFO. The
+/// victim search is a scan for the smallest use stamp — O(capacity),
+/// which is irrelevant next to the saturation runs the cache fronts,
+/// and keeps the implementation dependency-free.
 pub struct ResultCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
@@ -44,8 +50,15 @@ pub struct ResultCache {
 }
 
 struct CacheInner {
-    map: HashMap<CacheKey, Arc<ResultSummary>>,
-    order: VecDeque<CacheKey>,
+    map: HashMap<CacheKey, Entry>,
+    /// Monotonic logical clock; bumped on every touch.
+    tick: u64,
+}
+
+struct Entry {
+    summary: Arc<ResultSummary>,
+    /// The logical time of the last get/insert touching this entry.
+    last_used: u64,
 }
 
 impl ResultCache {
@@ -56,7 +69,7 @@ impl ResultCache {
             capacity,
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
-                order: VecDeque::new(),
+                tick: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -65,13 +78,17 @@ impl ResultCache {
         }
     }
 
-    /// Looks up `key`, counting a hit or miss.
+    /// Looks up `key`, counting a hit or miss. A hit promotes the
+    /// entry to most-recently-used.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<ResultSummary>> {
-        let inner = self.inner.lock().expect("cache poisoned");
-        match inner.map.get(key) {
-            Some(summary) => {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(summary))
+                Some(Arc::clone(&entry.summary))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -80,24 +97,37 @@ impl ResultCache {
         }
     }
 
-    /// Stores `summary` under `key`, evicting the oldest entry if at
-    /// capacity. Re-inserting an existing key refreshes the value
-    /// without growing the eviction queue.
+    /// Stores `summary` under `key`, evicting the least-recently-used
+    /// entry if at capacity. Re-inserting an existing key refreshes the
+    /// value and promotes the entry without counting a new insertion.
     pub fn insert(&self, key: CacheKey, summary: Arc<ResultSummary>) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock().expect("cache poisoned");
-        if inner.map.insert(key, summary).is_none() {
-            inner.order.push_back(key);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let fresh = inner
+            .map
+            .insert(
+                key,
+                Entry {
+                    summary,
+                    last_used: tick,
+                },
+            )
+            .is_none();
+        if fresh {
             self.insertions.fetch_add(1, Ordering::Relaxed);
             while inner.map.len() > self.capacity {
-                if let Some(victim) = inner.order.pop_front() {
-                    inner.map.remove(&victim);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    break;
-                }
+                let victim = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty map over capacity");
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -149,7 +179,7 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_respects_capacity() {
+    fn untouched_entries_evict_in_insertion_order() {
         let cache = ResultCache::new(2);
         let summary = dummy_summary();
         for i in 0..3 {
@@ -158,9 +188,48 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
-        // Oldest key evicted, newest present.
+        // With no intervening touches LRU degenerates to FIFO: the
+        // oldest key goes, the newer two stay.
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn hit_promotes_entry_over_older_unused_ones() {
+        let cache = ResultCache::new(2);
+        let summary = dummy_summary();
+        cache.insert(key(1), Arc::clone(&summary));
+        cache.insert(key(2), Arc::clone(&summary));
+        // Touch key 1: it becomes most-recently-used, so key 2 is now
+        // the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), Arc::clone(&summary));
+        assert!(cache.get(&key(2)).is_none(), "unpromoted entry must go");
+        assert!(cache.get(&key(1)).is_some(), "promoted entry must stay");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_follows_recency_order_under_interleaved_touches() {
+        let cache = ResultCache::new(3);
+        let summary = dummy_summary();
+        for i in 0..3 {
+            cache.insert(key(i), Arc::clone(&summary));
+        }
+        // Recency (oldest → newest) is now 1, 0, 2.
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        cache.insert(key(3), Arc::clone(&summary)); // evicts 1
+        assert!(cache.get(&key(1)).is_none());
+        // Recency is now 0, 2, 3.
+        cache.insert(key(4), Arc::clone(&summary)); // evicts 0
         assert!(cache.get(&key(0)).is_none());
         assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert!(cache.get(&key(4)).is_some());
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]
@@ -172,15 +241,19 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_refreshes_without_duplicating() {
+    fn reinsert_refreshes_promotes_and_does_not_duplicate() {
         let cache = ResultCache::new(2);
         let summary = dummy_summary();
         cache.insert(key(1), Arc::clone(&summary));
-        cache.insert(key(1), Arc::clone(&summary));
         cache.insert(key(2), Arc::clone(&summary));
+        // Re-inserting key 1 promotes it, so key 2 is the next victim.
+        cache.insert(key(1), Arc::clone(&summary));
+        cache.insert(key(3), Arc::clone(&summary));
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
-        assert_eq!(stats.insertions, 2);
-        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(1)).is_some());
     }
 }

@@ -12,8 +12,12 @@ use boole::{BooleParams, BooleResult, PairStats, Phase, RecoveredFa, SaturationS
 pub enum JobSource {
     /// An in-memory netlist.
     Netlist(Aig),
-    /// An ASCII AIGER (`.aag`) file on disk.
-    AagFile(PathBuf),
+    /// A netlist file on disk in any registered format
+    /// (`.aag`/`.aig`/`.blif`/`.v`); the frontend is chosen by
+    /// extension via [`aig::read_netlist`]. Whatever the format, the
+    /// parsed structure feeds the same structural fingerprint, so
+    /// isomorphic netlists share a cache entry across formats.
+    File(PathBuf),
     /// ASCII AIGER text.
     AagText(String),
     /// A generated arithmetic benchmark.
@@ -143,16 +147,23 @@ impl JobSpec {
         }
     }
 
-    /// A job over an `.aag` file.
-    pub fn aag_file(path: impl Into<PathBuf>) -> Self {
+    /// A job over a netlist file in any registered format
+    /// (`.aag`, `.aig`, `.blif`, `.v`), dispatched by extension.
+    pub fn file(path: impl Into<PathBuf>) -> Self {
         let path = path.into();
         JobSpec {
             label: path.display().to_string(),
-            source: JobSource::AagFile(path),
+            source: JobSource::File(path),
             params: BooleParams::default(),
             deadline: None,
             use_cache: true,
         }
+    }
+
+    /// A job over an `.aag` file (alias of [`JobSpec::file`], kept for
+    /// the original AIGER-only API).
+    pub fn aag_file(path: impl Into<PathBuf>) -> Self {
+        Self::file(path)
     }
 
     /// A job over a generated benchmark.

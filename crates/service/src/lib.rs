@@ -15,8 +15,16 @@
 //!   runner observes it between rules, so runaway jobs die without
 //!   poisoning the pool.
 //!
-//! The `boole` binary exposes this as a CLI: `boole run <file.aag>`,
-//! `boole batch <dir>`, `boole gen csa:16`, all with JSON results.
+//! Netlists arrive in any registered frontend format — ASCII/binary
+//! AIGER, BLIF, or structural Verilog ([`JobSpec::file`] dispatches by
+//! extension via [`aig::read_netlist`]). Because every frontend parses
+//! into the same structurally hashed [`Aig`](aig::Aig), the
+//! fingerprint — and therefore the result cache — is format-agnostic:
+//! the same circuit submitted as `.aag` and `.blif` is one cache entry.
+//!
+//! The `boole` binary exposes this as a CLI: `boole run <netlist>`,
+//! `boole batch <dir>` (formats freely mixed), `boole gen csa:16`, all
+//! with JSON results.
 
 #![warn(missing_docs)]
 

@@ -508,11 +508,8 @@ fn load_netlist(source: &JobSource) -> Result<aig::Aig, String> {
         JobSource::AagText(text) => {
             aig::aiger::from_aag(text).map_err(|e| format!("parse error: {e:?}"))
         }
-        JobSource::AagFile(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            aig::aiger::from_aag(&text)
-                .map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+        JobSource::File(path) => {
+            aig::read_netlist(path).map_err(|e| format!("cannot load {}: {e}", path.display()))
         }
         JobSource::Generate(spec) => Ok(spec.build()),
     }

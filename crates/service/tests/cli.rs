@@ -83,6 +83,134 @@ fn run_command_reads_an_aag_file() {
 }
 
 #[test]
+fn run_command_reads_blif_and_verilog_files() {
+    let dir = std::env::temp_dir().join(format!("boole-cli-fmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut netlist = aig::Aig::new();
+    let ins = netlist.add_inputs(3);
+    let (s, c) = aig::gen::full_adder(&mut netlist, ins[0], ins[1], ins[2]);
+    netlist.add_output("s", s);
+    netlist.add_output("c", c);
+    for file in ["fa.blif", "fa.v"] {
+        let path = dir.join(file);
+        aig::write_netlist(&path, &netlist).unwrap();
+        let output = boole()
+            .arg("run")
+            .arg(&path)
+            .args(["--params", "small", "--compact"])
+            .output()
+            .expect("spawn boole");
+        assert!(
+            output.status.success(),
+            "boole run {file} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("\"status\":\"completed\""),
+            "{file}: {stdout}"
+        );
+        assert!(!stdout.contains("\"exact_fa_count\":0"), "{file}: {stdout}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_mixes_formats_in_one_directory() {
+    let dir = std::env::temp_dir().join(format!("boole-cli-mixed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let circuit = aig::gen::csa_multiplier(3);
+    // The same circuit under three formats — one nested a level down,
+    // as benchmark suites do — plus one unrelated file the collector
+    // must skip.
+    std::fs::create_dir_all(dir.join("sub")).unwrap();
+    aig::write_netlist(dir.join("m1.aag"), &circuit).unwrap();
+    aig::write_netlist(dir.join("m2.blif"), &circuit).unwrap();
+    aig::write_netlist(dir.join("sub/m3.v"), &circuit).unwrap();
+    std::fs::write(dir.join("notes.txt"), "not a netlist").unwrap();
+
+    // One worker serializes the batch, so the two resubmissions of the
+    // isomorphic circuit deterministically hit the first job's entry.
+    let output = boole()
+        .arg("batch")
+        .arg(&dir)
+        .args(["--params", "small", "--compact", "--workers", "1"])
+        .output()
+        .expect("spawn boole");
+    assert!(
+        output.status.success(),
+        "mixed batch failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["m1.aag", "m2.blif", "m3.v"] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+    assert!(!stdout.contains("notes.txt"));
+    assert_eq!(stdout.matches("\"status\":\"completed\"").count(), 3);
+    // Isomorphic circuits across formats: one miss, two hits.
+    assert!(stdout.contains("\"hits\":2"), "cache stats in: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unparseable_netlists_exit_nonzero_with_json_error() {
+    let dir = std::env::temp_dir().join(format!("boole-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Fixture names are deliberately neutral (bad1, bad2, …) so the
+    // expected kind can only match inside the error message, never via
+    // the file path echoed in the job label.
+    let cases = [
+        (
+            "bad1.blif",
+            ".model t\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n",
+            "(latch)",
+        ),
+        (
+            "bad2.v",
+            "module m (a, y);\n input a;\n output y;\n and g (y, a, ghost);\nendmodule\n",
+            "(undeclared)",
+        ),
+        ("bad3.blif", ".model t\n.inputs a\n", "(truncated)"),
+    ];
+    for (file, contents, kind) in cases {
+        let path = dir.join(file);
+        std::fs::write(&path, contents).unwrap();
+        let output = boole()
+            .args(["run"])
+            .arg(&path)
+            .args(["--compact"])
+            .output()
+            .expect("spawn boole");
+        assert!(
+            !output.status.success(),
+            "{file}: failed parse must exit non-zero"
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("\"status\":\"failed\""),
+            "{file}: JSON must record the failure: {stdout}"
+        );
+        assert!(
+            stdout.contains("\"error\":") && stdout.contains(kind),
+            "{file}: JSON error must carry the typed kind {kind:?}: {stdout}"
+        );
+    }
+    // Unknown extension: also a failed job, not a crash.
+    let path = dir.join("x.vhdl");
+    std::fs::write(&path, "whatever").unwrap();
+    let output = boole()
+        .args(["run"])
+        .arg(&path)
+        .args(["--compact"])
+        .output()
+        .expect("spawn boole");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("unknown-format"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn deadline_flag_cancels_without_crashing() {
     let output = boole()
         .args(["gen", "csa:8", "--deadline-ms", "1", "--compact"])
