@@ -1,0 +1,226 @@
+//! `satbench` — the tracked saturation benchmark.
+//!
+//! Runs the generator corpus (CSA / Booth / Wallace multipliers at two
+//! sizes, mapped and unmapped) through BoolE's two-phase `saturate`
+//! and writes a machine-readable `BENCH_satbench.json` with wall-clock
+//! time per phase (search / apply / rebuild), final e-graph sizes, and
+//! matcher throughput. The committed copy of that file is the perf
+//! baseline: re-run the binary after an engine change and compare the
+//! `search_ms` totals to track the saturation-speed trajectory.
+//!
+//! ```text
+//! cargo run --release -p boole-bench --bin satbench            # full corpus -> BENCH_satbench.json
+//! cargo run --release -p boole-bench --bin satbench -- --smoke # smallest config, stdout only (CI)
+//! ```
+//!
+//! Flags: `--sizes A,B` (default `4,6`), `--out PATH` (default
+//! `BENCH_satbench.json`; `--smoke` defaults to stdout only),
+//! `--label NAME` (recorded in the JSON).
+
+use std::time::Instant;
+
+use boole::convert::aig_to_egraph;
+use boole::json::{Json, ToJson};
+use boole::{SaturateParams, SaturationStats};
+
+/// One corpus entry: a generator family at a bit width, optionally
+/// put through the technology-mapping round trip.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    family: &'static str,
+    bits: usize,
+    mapped: bool,
+}
+
+fn generate(cfg: &Config) -> aig::Aig {
+    let aig = match cfg.family {
+        "csa" => aig::gen::csa_multiplier(cfg.bits),
+        "booth" => aig::gen::booth_multiplier(cfg.bits),
+        "wallace" => aig::gen::wallace_multiplier(cfg.bits),
+        other => panic!("unknown family {other}"),
+    };
+    if cfg.mapped {
+        aig::map::map_round_trip(&aig)
+    } else {
+        aig
+    }
+}
+
+/// Deterministic saturation parameters: no wall-clock stop, so the
+/// same corpus always produces the same e-graph and the timings are
+/// comparable across machines and runs.
+fn params() -> SaturateParams {
+    SaturateParams {
+        node_limit: 50_000,
+        ..SaturateParams::default()
+    }
+    .without_time_limit()
+}
+
+struct RunRecord {
+    cfg: Config,
+    nodes_before: usize,
+    stats: SaturationStats,
+    wall_ms: f64,
+}
+
+fn run_one(cfg: Config, p: &SaturateParams) -> RunRecord {
+    let aig = generate(&cfg);
+    let net = aig_to_egraph::<()>(&aig);
+    let nodes_before = net.egraph.total_number_of_nodes();
+    let start = Instant::now();
+    let (_, stats) = boole::saturate(net, p);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    RunRecord {
+        cfg,
+        nodes_before,
+        stats,
+        wall_ms,
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn record_json(r: &RunRecord) -> Json {
+    let search_s = r.stats.search_time.as_secs_f64();
+    let matches_per_sec = if search_s > 0.0 {
+        r.stats.total_matches as f64 / search_s
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("family", Json::str(r.cfg.family)),
+        ("bits", Json::from(r.cfg.bits)),
+        ("mapped", Json::from(r.cfg.mapped)),
+        ("nodes_before", Json::from(r.nodes_before)),
+        ("nodes_after_r1", Json::from(r.stats.nodes_after_r1)),
+        ("nodes_after_r2", Json::from(r.stats.nodes_after_r2)),
+        ("classes", Json::from(r.stats.classes)),
+        (
+            "iterations",
+            Json::from(r.stats.r1_iterations + r.stats.r2_iterations),
+        ),
+        ("r1_stop", r.stats.r1_stop.to_json()),
+        ("r2_stop", r.stats.r2_stop.to_json()),
+        ("search_ms", Json::from(ms(r.stats.search_time))),
+        ("apply_ms", Json::from(ms(r.stats.apply_time))),
+        ("rebuild_ms", Json::from(ms(r.stats.rebuild_time))),
+        ("saturate_ms", Json::from(r.wall_ms)),
+        ("matches", Json::from(r.stats.total_matches)),
+        ("matches_per_sec", Json::from(matches_per_sec)),
+    ])
+}
+
+fn main() {
+    let smoke = boole_bench::arg_flag("--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let arg_str = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let label = arg_str("--label").unwrap_or_else(|| "satbench".to_owned());
+    let sizes: Vec<usize> = arg_str("--sizes")
+        .unwrap_or_else(|| "4,6".to_owned())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sizes takes integers like 4,6"))
+        .collect();
+    let out = arg_str("--out");
+
+    let mut p = params();
+    let configs: Vec<Config> = if smoke {
+        p = SaturateParams {
+            node_limit: 20_000,
+            ..SaturateParams::small()
+        }
+        .without_time_limit();
+        vec![Config {
+            family: "csa",
+            bits: 4,
+            mapped: false,
+        }]
+    } else {
+        let mut v = Vec::new();
+        for &family in &["csa", "booth", "wallace"] {
+            for &bits in &sizes {
+                for &mapped in &[false, true] {
+                    v.push(Config {
+                        family,
+                        bits,
+                        mapped,
+                    });
+                }
+            }
+        }
+        v
+    };
+
+    eprintln!(
+        "{:>8} {:>5} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>10} {:>12}",
+        "family", "bits", "mapped", "search", "apply", "rebuild", "total", "matches", "matches/s"
+    );
+    let mut records = Vec::new();
+    let mut search_total = 0.0;
+    let mut apply_total = 0.0;
+    let mut rebuild_total = 0.0;
+    for cfg in configs {
+        let r = run_one(cfg, &p);
+        search_total += ms(r.stats.search_time);
+        apply_total += ms(r.stats.apply_time);
+        rebuild_total += ms(r.stats.rebuild_time);
+        let search_s = r.stats.search_time.as_secs_f64();
+        eprintln!(
+            "{:>8} {:>5} {:>7} | {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms | {:>10} {:>12.0}",
+            r.cfg.family,
+            r.cfg.bits,
+            r.cfg.mapped,
+            ms(r.stats.search_time),
+            ms(r.stats.apply_time),
+            ms(r.stats.rebuild_time),
+            r.wall_ms,
+            r.stats.total_matches,
+            if search_s > 0.0 {
+                r.stats.total_matches as f64 / search_s
+            } else {
+                0.0
+            },
+        );
+        records.push(r);
+    }
+    eprintln!(
+        "totals: search {search_total:.1}ms  apply {apply_total:.1}ms  rebuild {rebuild_total:.1}ms"
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("satbench")),
+        ("label", Json::str(label)),
+        ("smoke", Json::from(smoke)),
+        ("node_limit", Json::from(p.node_limit)),
+        ("match_limit", Json::from(p.match_limit)),
+        (
+            "totals",
+            Json::obj([
+                ("search_ms", Json::from(search_total)),
+                ("apply_ms", Json::from(apply_total)),
+                ("rebuild_ms", Json::from(rebuild_total)),
+            ]),
+        ),
+        ("runs", Json::arr(records.iter().map(record_json))),
+    ]);
+    let text = doc.pretty();
+    match (out, smoke) {
+        (Some(path), _) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write benchmark file");
+            eprintln!("wrote {path}");
+        }
+        (None, true) => println!("{text}"),
+        (None, false) => {
+            std::fs::write("BENCH_satbench.json", format!("{text}\n"))
+                .expect("write BENCH_satbench.json");
+            eprintln!("wrote BENCH_satbench.json");
+        }
+    }
+}

@@ -231,6 +231,11 @@ impl ToJson for SaturationStats {
             ("r1_iterations", Json::from(self.r1_iterations)),
             ("r2_iterations", Json::from(self.r2_iterations)),
             ("pruned", Json::from(self.pruned)),
+            // No wall-clock phase times here: job-result JSON must be
+            // byte-identical across serial and concurrent runs (see
+            // the service CLI tests); `satbench` reads the timing
+            // fields straight off the struct instead.
+            ("total_matches", Json::from(self.total_matches)),
             ("cancelled", Json::from(self.was_cancelled())),
         ])
     }

@@ -1,9 +1,9 @@
 //! Two-phase incremental saturation (Section IV-A2) plus redundant
 //! e-node pruning.
 
-use std::collections::HashSet;
 use std::time::Duration;
 
+use egraph::hash::FxHashSet;
 use egraph::{BackoffScheduler, CancelToken, EGraph, Id, Language, Runner, StopReason};
 
 use crate::convert::NetlistEGraph;
@@ -106,6 +106,16 @@ pub struct SaturationStats {
     pub r2_iterations: usize,
     /// Redundant e-nodes pruned.
     pub pruned: usize,
+    /// Time spent in the e-matching search phase, summed over all
+    /// iterations of both phases.
+    pub search_time: Duration,
+    /// Time spent applying matches, summed over all iterations.
+    pub apply_time: Duration,
+    /// Time spent rebuilding (congruence repair), summed over all
+    /// iterations.
+    pub rebuild_time: Duration,
+    /// Total substitutions found by the searchers across both phases.
+    pub total_matches: usize,
 }
 
 impl SaturationStats {
@@ -143,6 +153,19 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
     let nodes_after_r1 = runner1.egraph.total_number_of_nodes();
     let r1_stop = runner1.stop_reason.clone().expect("phase 1 ran");
     let r1_iterations = runner1.iterations.len();
+    let mut search_time = Duration::ZERO;
+    let mut apply_time = Duration::ZERO;
+    let mut rebuild_time = Duration::ZERO;
+    let mut total_matches = 0usize;
+    let mut accumulate = |iterations: &[egraph::Iteration]| {
+        for it in iterations {
+            search_time += it.search_time;
+            apply_time += it.apply_time;
+            rebuild_time += it.rebuild_time;
+            total_matches += it.total_matches;
+        }
+    };
+    accumulate(&runner1.iterations);
 
     let runner2 = Runner::new(())
         .with_egraph(runner1.egraph)
@@ -152,6 +175,7 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
         .with_cancel_token(params.cancel.clone())
         .run(&r2);
+    accumulate(&runner2.iterations);
     let mut egraph = runner2.egraph;
     let nodes_after_r2 = egraph.total_number_of_nodes();
     let r2_stop = runner2.stop_reason.clone().expect("phase 2 ran");
@@ -172,6 +196,10 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
         r1_iterations,
         r2_iterations,
         pruned,
+        search_time,
+        apply_time,
+        rebuild_time,
+        total_matches,
     };
     (
         NetlistEGraph {
@@ -190,9 +218,9 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
 /// optimization: `XOR(a,b,c)` and `XOR(b,a,c)` need not coexist).
 pub fn prune_redundant(egraph: &mut EGraph<BoolLang>) -> usize {
     // Collect the representatives to keep.
-    let mut keep: HashSet<(Id, BoolLang)> = HashSet::new();
+    let mut keep: FxHashSet<(Id, BoolLang)> = FxHashSet::default();
     for class in egraph.classes() {
-        let mut seen: HashSet<(std::mem::Discriminant<BoolLang>, Vec<Id>)> = HashSet::new();
+        let mut seen: FxHashSet<(std::mem::Discriminant<BoolLang>, Vec<Id>)> = FxHashSet::default();
         for node in class.iter() {
             if node.is_symmetric() {
                 let mut key: Vec<Id> = node.children().to_vec();

@@ -1,8 +1,8 @@
 //! The [`EGraph`] data structure.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use crate::hash::FxHashMap;
 use crate::{Analysis, Id, Language, RecExpr, UnionFind};
 
 /// An equivalence class of e-nodes.
@@ -60,16 +60,27 @@ pub struct EGraph<L: Language, N: Analysis<L> = ()> {
     /// The analysis (user state).
     pub analysis: N,
     unionfind: UnionFind,
-    memo: HashMap<L, Id>,
+    memo: FxHashMap<L, Id>,
     classes: Vec<Option<EClass<L, N::Data>>>,
     /// Parents that need congruence re-processing.
     pending: Vec<(L, Id)>,
     analysis_pending: Vec<(L, Id)>,
     /// Classes containing at least one e-node with a given operator;
     /// rebuilt by [`EGraph::rebuild`] and used to speed up searches.
-    by_op: HashMap<L::Discriminant, Vec<Id>>,
+    by_op: FxHashMap<L::Discriminant, Vec<Id>>,
     clean: bool,
     n_unions: usize,
+    /// Live-class count, maintained incrementally (`add` +1, merging
+    /// `union` -1) so [`EGraph::num_classes`] is O(1).
+    n_live_classes: usize,
+    /// Total e-node count across live classes (sum of `nodes.len()`),
+    /// maintained incrementally so [`EGraph::total_number_of_nodes`]
+    /// is O(1): `add` +1, dedup during rebuild and
+    /// [`EGraph::retain_nodes`] subtract.
+    n_nodes: usize,
+    /// Scratch buffer reused across [`EGraph::rebuild`] calls to avoid
+    /// re-allocating the live-id worklist every iteration.
+    scratch_ids: Vec<Id>,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
@@ -93,6 +104,9 @@ where
             by_op: self.by_op.clone(),
             clean: self.clean,
             n_unions: self.n_unions,
+            n_live_classes: self.n_live_classes,
+            n_nodes: self.n_nodes,
+            scratch_ids: Vec::new(),
         }
     }
 }
@@ -113,13 +127,16 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         Self {
             analysis,
             unionfind: UnionFind::default(),
-            memo: HashMap::default(),
+            memo: FxHashMap::default(),
             classes: Vec::new(),
             pending: Vec::new(),
             analysis_pending: Vec::new(),
-            by_op: HashMap::default(),
+            by_op: FxHashMap::default(),
             clean: true,
             n_unions: 0,
+            n_live_classes: 0,
+            n_nodes: 0,
+            scratch_ids: Vec::new(),
         }
     }
 
@@ -129,14 +146,17 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.by_op.get(op).map_or(&[], |v| v.as_slice())
     }
 
-    /// Number of live e-classes.
+    /// Number of live e-classes. O(1): the count is maintained
+    /// incrementally across adds and unions.
     pub fn num_classes(&self) -> usize {
-        self.classes.iter().filter(|c| c.is_some()).count()
+        self.n_live_classes
     }
 
-    /// Total number of e-nodes across all classes.
+    /// Total number of e-nodes across all classes. O(1): the count is
+    /// maintained incrementally (the saturation runner polls this
+    /// between every rule application to enforce its node limit).
     pub fn total_number_of_nodes(&self) -> usize {
-        self.classes().map(|c| c.len()).sum()
+        self.n_nodes
     }
 
     /// Total number of unions performed so far.
@@ -160,11 +180,13 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.unionfind.find_mut(id)
     }
 
-    /// Iterates over the live e-classes.
+    /// Iterates over the live e-classes. The [`ExactSizeIterator`]
+    /// length comes from the O(1) live-class counter (no pre-scan of
+    /// the class table).
     pub fn classes(&self) -> impl ExactSizeIterator<Item = &EClass<L, N::Data>> {
         ClassIter {
             inner: self.classes.iter(),
-            remaining: self.classes.iter().filter(|c| c.is_some()).count(),
+            remaining: self.n_live_classes,
         }
     }
 
@@ -236,6 +258,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             parents: Vec::new(),
             data,
         }));
+        self.n_live_classes += 1;
+        self.n_nodes += 1;
         self.memo.insert(enode, id);
         self.clean = false;
         N::modify(self, id);
@@ -276,6 +300,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
         self.unionfind.union_roots(to, from);
         self.n_unions += 1;
+        self.n_live_classes -= 1;
         self.clean = false;
 
         let from_class = self.classes[from.index()]
@@ -335,20 +360,29 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     fn rebuild_classes(&mut self) {
         // Canonicalize and dedup the node lists of every live class,
-        // and rebuild the operator index.
-        self.by_op.clear();
-        let ids: Vec<Id> = (0..self.classes.len())
-            .map(Id::from_index)
-            .filter(|id| self.classes[id.index()].is_some())
-            .collect();
-        for id in ids {
+        // and rebuild the operator index. Clearing the index's buckets
+        // in place (rather than dropping them) keeps their allocations
+        // across rebuilds.
+        for bucket in self.by_op.values_mut() {
+            bucket.clear();
+        }
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(
+            (0..self.classes.len())
+                .map(Id::from_index)
+                .filter(|id| self.classes[id.index()].is_some()),
+        );
+        for &id in &ids {
             let mut nodes =
                 std::mem::take(&mut self.classes[id.index()].as_mut().expect("live class").nodes);
             for node in &mut nodes {
                 node.update_children(|c| self.unionfind.find_mut(c));
             }
+            let before = nodes.len();
             nodes.sort_unstable();
             nodes.dedup();
+            self.n_nodes -= before - nodes.len();
             for node in &nodes {
                 let entry = self.by_op.entry(node.discriminant()).or_default();
                 if entry.last() != Some(&id) {
@@ -357,6 +391,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             }
             self.classes[id.index()].as_mut().expect("live class").nodes = nodes;
         }
+        self.scratch_ids = ids;
     }
 
     /// Removes e-nodes for which `keep` returns `false`.
@@ -408,6 +443,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 ..class
             });
         }
+        self.n_nodes -= removed;
         removed
     }
 
@@ -419,6 +455,20 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
         assert!(self.clean, "e-graph must be clean");
+        assert_eq!(
+            self.n_live_classes,
+            self.classes.iter().filter(|c| c.is_some()).count(),
+            "live-class counter must match the class table"
+        );
+        assert_eq!(
+            self.n_nodes,
+            self.classes
+                .iter()
+                .flatten()
+                .map(|c| c.len())
+                .sum::<usize>(),
+            "node counter must match the class node lists"
+        );
         for class in self.classes() {
             assert_eq!(class.id, self.find(class.id), "class id must be canonical");
             for node in &class.nodes {

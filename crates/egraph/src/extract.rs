@@ -1,8 +1,8 @@
 //! Cost-based extraction of a best term per e-class.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use crate::hash::FxHashMap;
 use crate::{Analysis, EGraph, Id, Language, RecExpr};
 
 /// A cost function over e-nodes.
@@ -74,7 +74,7 @@ impl<L: Language> CostFunction<L> for AstDepth {
 pub struct Extractor<'a, CF: CostFunction<L>, L: Language, N: Analysis<L>> {
     egraph: &'a EGraph<L, N>,
     cost_fn: CF,
-    costs: HashMap<Id, (CF::Cost, L)>,
+    costs: FxHashMap<Id, (CF::Cost, L)>,
 }
 
 impl<'a, CF: CostFunction<L>, L: Language, N: Analysis<L>> Extractor<'a, CF, L, N> {
@@ -88,7 +88,7 @@ impl<'a, CF: CostFunction<L>, L: Language, N: Analysis<L>> Extractor<'a, CF, L, 
         let mut extractor = Self {
             egraph,
             cost_fn,
-            costs: HashMap::new(),
+            costs: FxHashMap::default(),
         };
         extractor.find_costs();
         extractor

@@ -1,0 +1,164 @@
+//! A fast, non-cryptographic hasher for the e-graph's hot maps.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs real time on the
+//! e-graph's hottest paths (`memo` hash-consing, the `by_op` operator
+//! index, extractor and scheduler tables), where keys are small and
+//! attacker-controlled input is not a concern. This module hand-rolls
+//! the well-known FxHash function (a multiply-and-rotate mix used by
+//! rustc's `FxHashMap`) — the build environment is offline, so the
+//! `rustc-hash` crate cannot be pulled in.
+//!
+//! ```
+//! use egraph::hash::FxHashMap;
+//! let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+//! m.insert(1, "one");
+//! assert_eq!(m.get(&1), Some(&"one"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative mixing constant (from Firefox/rustc FxHash):
+/// `floor(2^64 / golden_ratio)`, forced odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+const ROTATE: u32 = 5;
+
+/// A fast, insecure [`Hasher`] (FxHash): each word is folded in with a
+/// rotate, xor, and multiply. Quality is plenty for pointer-sized and
+/// small composite keys; do not use where hash-flooding matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut buf = [0u8; 2];
+            buf.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u64::from(u16::from_le_bytes(buf)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`std::collections::HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A [`std::collections::HashSet`] keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        FxBuildHasher::default().hash_one(t)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(
+            hash_of(&(1u64, vec![1u8, 2, 3])),
+            hash_of(&(1u64, vec![1u8, 2, 3]))
+        );
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+        // Distinguishes byte strings of every length class handled by
+        // `write` (8/4/2/1-byte tails).
+        for len in 1..=17usize {
+            let a: Vec<u8> = (0..len as u8).collect();
+            let mut b = a.clone();
+            b[len - 1] ^= 1;
+            assert_ne!(hash_of(&a), hash_of(&b), "length {len}");
+        }
+    }
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(vec![i, i + 1], i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&vec![7, 8]], 7);
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert!(s.contains(&99));
+    }
+
+    #[test]
+    fn zero_prefix_sensitivity() {
+        // A classic weak-hasher failure: leading zeros wiping state.
+        assert_ne!(hash_of(&[0u64, 1]), hash_of(&[0u64, 2]));
+        assert_ne!(hash_of(&[0u64, 0, 1]), hash_of(&[0u64, 1, 0]));
+    }
+}

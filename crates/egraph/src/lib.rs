@@ -38,9 +38,13 @@
 #![warn(missing_docs)]
 
 mod cancel;
+#[cfg(test)]
+mod differential;
 mod egraph;
 mod extract;
+pub mod hash;
 mod language;
+pub mod machine;
 mod pattern;
 mod recexpr;
 mod rewrite;

@@ -1,0 +1,535 @@
+//! The compiled e-matching virtual machine.
+//!
+//! Following the abstract-machine design of egg (Willsey et al., POPL
+//! 2021), every [`Pattern`](crate::Pattern) is compiled **once** (at
+//! construction) into a linear [`Program`] of instructions executed
+//! against a bank of registers holding e-class [`Id`]s:
+//!
+//! * [`Instruction::Bind`] — iterate the e-nodes of the class in
+//!   register `i` that match a pattern operator, writing each node's
+//!   children into fresh registers (the only backtracking point);
+//! * [`Instruction::Compare`] — require two registers to name the same
+//!   e-class (non-linear patterns, e.g. `(& ?a ?a)`);
+//! * [`Instruction::Lookup`] — require the register to be the class of
+//!   a *ground* (variable-free) subterm, resolved once per search via
+//!   the e-graph's hash-cons `memo` instead of structural scanning;
+//! * [`Instruction::Scan`] — enumerate every e-class (emitted only for
+//!   root-variable patterns like `?x`, where the driver loop performs
+//!   the enumeration).
+//!
+//! Unlike the classic backtracking matcher this replaces, the VM never
+//! allocates or clones a substitution while searching: bindings live in
+//! the register bank, and a [`Subst`] is materialized only for each
+//! *surviving* match. The work budget
+//! ([`MATCH_WORK_BUDGET`](crate::MATCH_WORK_BUDGET)), the per-class
+//! match cap ([`MAX_SUBSTS_PER_CLASS`](crate::MAX_SUBSTS_PER_CLASS)),
+//! and a cooperative [`CancelToken`] are all enforced *inside* the VM
+//! loop, so cancellation latency is bounded by
+//! [`CANCEL_CHECK_QUANTUM`] e-node visits rather than by a whole rule
+//! search.
+
+use crate::pattern::ENodeOrVar;
+use crate::{Analysis, CancelToken, EGraph, Id, Language, RecExpr, Subst, Var};
+
+/// A register index in the VM's register bank.
+pub type Reg = u16;
+
+/// One instruction of a compiled pattern program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction<L> {
+    /// Iterate the e-nodes of class `regs[i]` whose operator and arity
+    /// match `node`; for each, write the children into
+    /// `regs[out..out + arity]` and continue (backtracking point).
+    Bind {
+        /// The pattern e-node to match (only its operator and arity
+        /// are consulted; its child ids index the pattern AST).
+        node: L,
+        /// Register holding the class to scan.
+        i: Reg,
+        /// First output register for the matched node's children.
+        out: Reg,
+    },
+    /// Continue only if `regs[i]` and `regs[j]` are the same class.
+    Compare {
+        /// First register.
+        i: Reg,
+        /// Second register.
+        j: Reg,
+    },
+    /// Continue only if `regs[i]` is the class of the ground term
+    /// `ground_terms[term]` (resolved through the hash-cons memo once
+    /// per search).
+    Lookup {
+        /// Index into [`Program`]'s ground-term table.
+        term: usize,
+        /// Register to compare against.
+        i: Reg,
+    },
+    /// Enumerate all e-classes into register `out`. Emitted only as
+    /// the first (and sole) instruction of root-variable patterns; the
+    /// search driver performs the class enumeration.
+    Scan {
+        /// Register receiving each class.
+        out: Reg,
+    },
+}
+
+/// How often (in e-node visits) the VM polls its [`CancelToken`]: a
+/// cancellation request stops the search within one such quantum.
+pub const CANCEL_CHECK_QUANTUM: usize = 256;
+
+/// Why a program run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The whole match space was enumerated.
+    Complete,
+    /// The per-class substitution cap was reached.
+    SubstLimit,
+    /// The work budget was exhausted.
+    BudgetExhausted,
+    /// The [`CancelToken`] was set; the driver should stop the whole
+    /// search, not just this class.
+    Cancelled,
+}
+
+/// A pattern compiled to VM instructions (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Program<L> {
+    instructions: Vec<Instruction<L>>,
+    ground_terms: Vec<RecExpr<L>>,
+    /// `(var, register)` pairs in first-occurrence order; materializing
+    /// a match reads these registers into a [`Subst`].
+    subst_template: Vec<(Var, Reg)>,
+    n_regs: usize,
+}
+
+impl<L: Language> Program<L> {
+    /// Compiles a pattern AST. Instructions follow the pattern's
+    /// depth-first preorder (root first, children left to right), which
+    /// keeps the VM's match enumeration order aligned with the
+    /// classic recursive matcher.
+    pub fn compile(ast: &RecExpr<ENodeOrVar<L>>) -> Self {
+        let ground = ground_map(ast);
+        let mut prog = Program {
+            instructions: Vec::new(),
+            ground_terms: Vec::new(),
+            subst_template: Vec::new(),
+            n_regs: 1,
+        };
+        let root = ast.root();
+        if let ENodeOrVar::Var(v) = &ast[root] {
+            prog.instructions.push(Instruction::Scan { out: 0 });
+            prog.subst_template.push((*v, 0));
+            return prog;
+        }
+        prog.compile_node(ast, &ground, root, 0);
+        prog
+    }
+
+    fn compile_node(&mut self, ast: &RecExpr<ENodeOrVar<L>>, ground: &[bool], pat: Id, reg: Reg) {
+        match &ast[pat] {
+            ENodeOrVar::Var(v) => {
+                if let Some(&(_, first)) = self.subst_template.iter().find(|(u, _)| u == v) {
+                    self.instructions
+                        .push(Instruction::Compare { i: reg, j: first });
+                } else {
+                    self.subst_template.push((*v, reg));
+                }
+            }
+            ENodeOrVar::ENode(_) if ground[pat.index()] => {
+                let term = self.ground_terms.len();
+                self.ground_terms.push(extract_ground_term(ast, pat));
+                self.instructions.push(Instruction::Lookup { term, i: reg });
+            }
+            ENodeOrVar::ENode(node) => {
+                let arity = node.children().len();
+                // Guard the *last* output register too, not just the
+                // base: `out + arity - 1` must stay within `Reg`.
+                assert!(
+                    self.n_regs + arity <= usize::from(Reg::MAX) + 1,
+                    "pattern too large for register file"
+                );
+                let out = self.n_regs as Reg;
+                self.n_regs += arity;
+                self.instructions.push(Instruction::Bind {
+                    node: node.clone(),
+                    i: reg,
+                    out,
+                });
+                for (k, &child) in node.children().iter().enumerate() {
+                    self.compile_node(ast, ground, child, out + k as Reg);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if this program starts with a [`Instruction::Scan`]
+    /// (i.e. the pattern is a bare variable and every class matches).
+    pub fn is_scan(&self) -> bool {
+        matches!(self.instructions.first(), Some(Instruction::Scan { .. }))
+    }
+
+    /// Number of registers the VM needs.
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    /// The compiled instructions (for inspection and tests).
+    pub fn instructions(&self) -> &[Instruction<L>] {
+        &self.instructions
+    }
+
+    /// Resolves every ground subterm through the e-graph's hash-cons
+    /// memo. Returns `None` if some ground subterm does not exist in
+    /// the e-graph — the pattern then has no matches at all and the
+    /// whole search can stop before scanning a single class.
+    pub fn resolve_ground_terms<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Option<Vec<Id>> {
+        self.ground_terms
+            .iter()
+            .map(|t| egraph.lookup_expr(t).map(|id| egraph.find(id)))
+            .collect()
+    }
+
+    /// Runs the program against one candidate e-class, appending a
+    /// [`Subst`] to `substs` for every match found. `ground` must come
+    /// from [`Program::resolve_ground_terms`] on the same (clean)
+    /// e-graph; `regs` is the reusable register bank (resized here, so
+    /// one allocation serves a whole multi-class search). `budget` is
+    /// decremented once per e-node visited; matching stops when it
+    /// reaches zero, when `substs` has grown by `max_substs`, or
+    /// within [`CANCEL_CHECK_QUANTUM`] visits of `cancel` being set.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+        ground: &[Id],
+        regs: &mut Vec<Id>,
+        substs: &mut Vec<Subst>,
+        budget: &mut usize,
+        max_substs: usize,
+        cancel: &CancelToken,
+    ) -> RunOutcome {
+        debug_assert!(!self.is_scan(), "Scan programs are driven by the caller");
+        regs.clear();
+        regs.resize(self.n_regs, Id::from_index(0));
+        regs[0] = egraph.find(eclass);
+        let mut machine = Machine {
+            regs,
+            found: 0,
+            max_substs,
+            cancel,
+        };
+        machine.exec(egraph, self, ground, 0, budget, substs)
+    }
+
+    /// Materializes the current register bank into a substitution (used
+    /// by the driver for [`Instruction::Scan`] patterns, where the sole
+    /// register already holds the class).
+    pub(crate) fn subst_for_class(&self, eclass: Id) -> Subst {
+        Subst::from_pairs(
+            self.subst_template
+                .iter()
+                .map(|&(v, _)| (v, eclass))
+                .collect(),
+        )
+    }
+}
+
+struct Machine<'a> {
+    regs: &'a mut Vec<Id>,
+    found: usize,
+    max_substs: usize,
+    cancel: &'a CancelToken,
+}
+
+impl Machine<'_> {
+    /// Executes instructions from `pc` on, backtracking over
+    /// [`Instruction::Bind`] choices; complete register banks are
+    /// materialized into `out`.
+    fn exec<L: Language, N: Analysis<L>>(
+        &mut self,
+        egraph: &EGraph<L, N>,
+        prog: &Program<L>,
+        ground: &[Id],
+        pc: usize,
+        budget: &mut usize,
+        out: &mut Vec<Subst>,
+    ) -> RunOutcome {
+        let Some(instruction) = prog.instructions.get(pc) else {
+            out.push(Subst::from_pairs(
+                prog.subst_template
+                    .iter()
+                    .map(|&(v, r)| (v, self.regs[r as usize]))
+                    .collect(),
+            ));
+            self.found += 1;
+            return if self.found >= self.max_substs {
+                RunOutcome::SubstLimit
+            } else {
+                RunOutcome::Complete
+            };
+        };
+        match instruction {
+            Instruction::Bind {
+                node,
+                i,
+                out: out_reg,
+            } => {
+                let class = egraph.eclass(self.regs[*i as usize]);
+                for enode in class.iter() {
+                    if *budget == 0 {
+                        return RunOutcome::BudgetExhausted;
+                    }
+                    *budget -= 1;
+                    if budget.is_multiple_of(CANCEL_CHECK_QUANTUM) && self.cancel.is_cancelled() {
+                        return RunOutcome::Cancelled;
+                    }
+                    if !node.matches(enode) {
+                        continue;
+                    }
+                    let base = *out_reg as usize;
+                    for (k, &child) in enode.children().iter().enumerate() {
+                        self.regs[base + k] = child;
+                    }
+                    match self.exec(egraph, prog, ground, pc + 1, budget, out) {
+                        RunOutcome::Complete => {}
+                        stop => return stop,
+                    }
+                }
+                RunOutcome::Complete
+            }
+            Instruction::Compare { i, j } => {
+                if egraph.find(self.regs[*i as usize]) == egraph.find(self.regs[*j as usize]) {
+                    self.exec(egraph, prog, ground, pc + 1, budget, out)
+                } else {
+                    RunOutcome::Complete
+                }
+            }
+            Instruction::Lookup { term, i } => {
+                if ground[*term] == egraph.find(self.regs[*i as usize]) {
+                    self.exec(egraph, prog, ground, pc + 1, budget, out)
+                } else {
+                    RunOutcome::Complete
+                }
+            }
+            Instruction::Scan { .. } => unreachable!("Scan only occurs at pc 0 of var patterns"),
+        }
+    }
+}
+
+/// Computes, for each pattern node, whether its subtree is ground
+/// (contains no variables).
+fn ground_map<L: Language>(ast: &RecExpr<ENodeOrVar<L>>) -> Vec<bool> {
+    let mut ground = vec![false; ast.len()];
+    for (i, node) in ast.iter().enumerate() {
+        ground[i] = match node {
+            ENodeOrVar::Var(_) => false,
+            ENodeOrVar::ENode(n) => n.children().iter().all(|c| ground[c.index()]),
+        };
+    }
+    ground
+}
+
+/// Copies the ground subtree rooted at `pat` out of the pattern AST
+/// into a standalone [`RecExpr`] suitable for
+/// [`EGraph::lookup_expr`].
+fn extract_ground_term<L: Language>(ast: &RecExpr<ENodeOrVar<L>>, pat: Id) -> RecExpr<L> {
+    RecExpr::from_root_and_fn(pat, |id| match &ast[id] {
+        ENodeOrVar::ENode(n) => n.clone(),
+        ENodeOrVar::Var(_) => unreachable!("ground subterms contain no variables"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pattern, SymbolLang};
+
+    fn pat(s: &str) -> Pattern<SymbolLang> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn compiles_bind_and_compare() {
+        let p = pat("(f ?x ?x)");
+        let prog = p.program();
+        assert_eq!(prog.instructions().len(), 2);
+        assert!(matches!(prog.instructions()[0], Instruction::Bind { .. }));
+        assert!(matches!(
+            prog.instructions()[1],
+            Instruction::Compare { .. }
+        ));
+    }
+
+    #[test]
+    fn compiles_ground_subterm_to_lookup() {
+        let p = pat("(f ?x (g a b))");
+        let prog = p.program();
+        assert!(prog
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Lookup { .. })));
+        // The variable-free subtree must not emit any Bind beyond the
+        // root's.
+        let binds = prog
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Bind { .. }))
+            .count();
+        assert_eq!(binds, 1);
+    }
+
+    #[test]
+    fn root_var_compiles_to_scan() {
+        let p = pat("?x");
+        assert!(p.program().is_scan());
+    }
+
+    #[test]
+    fn register_count_covers_children() {
+        let p = pat("(f (g ?a ?b) ?c)");
+        // root children (2) + g children (2) + root reg.
+        assert_eq!(p.program().n_regs(), 5);
+    }
+
+    use crate::{CancelToken, EGraph, SearchMatches};
+
+    type EG = EGraph<SymbolLang, ()>;
+
+    /// Builds a workload whose search does lots of *failing*
+    /// backtracking (so neither the per-class match cap nor the work
+    /// budget stops it early): `n_roots` classes `(g A_i B_i)` where
+    /// `A_i`/`B_i` each hold `width` f-nodes over disjoint leaves, and
+    /// the nonlinear probe `(g (f ?x) (f ?x))` never closes.
+    fn explosive_workload(n_roots: usize, width: usize) -> (EG, Pattern<SymbolLang>) {
+        let mut eg = EG::default();
+        for r in 0..n_roots {
+            let side = |tag: &str, eg: &mut EG| {
+                let fs: Vec<_> = (0..width)
+                    .map(|i| {
+                        let leaf = eg.add(SymbolLang::leaf(format!("{tag}{r}_{i}")));
+                        eg.add(SymbolLang::new("f", vec![leaf]))
+                    })
+                    .collect();
+                for w in fs.windows(2) {
+                    eg.union(w[0], w[1]);
+                }
+                fs[0]
+            };
+            let a = side("a", &mut eg);
+            let b = side("b", &mut eg);
+            eg.add(SymbolLang::new("g", vec![a, b]));
+        }
+        eg.rebuild();
+        (eg, pat("(g (f ?x) (f ?x))"))
+    }
+
+    #[test]
+    fn cancelled_token_stops_within_one_quantum() {
+        let (eg, p) = explosive_workload(1, 400);
+        let ground = p.program().resolve_ground_terms(&eg).unwrap();
+        let class = *eg
+            .classes_with_op(&SymbolLang::leaf("g").discriminant())
+            .first()
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut regs = Vec::new();
+        let mut substs = Vec::new();
+        let start_budget = 10_000usize;
+        let mut budget = start_budget;
+        let outcome = p.program().run(
+            &eg,
+            class,
+            &ground,
+            &mut regs,
+            &mut substs,
+            &mut budget,
+            usize::MAX,
+            &token,
+        );
+        assert_eq!(outcome, RunOutcome::Cancelled);
+        let work_done = start_budget - budget;
+        assert!(
+            work_done <= CANCEL_CHECK_QUANTUM,
+            "a set token must stop the VM within one quantum, did {work_done} visits"
+        );
+        // Sanity: the same class costs far more than a quantum when
+        // the token stays clear.
+        let mut budget = start_budget;
+        let outcome = p.program().run(
+            &eg,
+            class,
+            &ground,
+            &mut regs,
+            &mut substs,
+            &mut budget,
+            usize::MAX,
+            &CancelToken::new(),
+        );
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn pre_cancelled_search_returns_no_matches() {
+        let (eg, p) = explosive_workload(10, 60);
+        let token = CancelToken::new();
+        token.cancel();
+        let matches: Vec<SearchMatches> = p.search_with_limit_and_token(&eg, usize::MAX, &token);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn cancellation_checked_between_small_classes() {
+        // Classes this small (2 visits each) never reach the in-VM
+        // budget-quantum poll; the driver loop must still observe the
+        // token between classes.
+        let mut eg = EG::default();
+        for i in 0..500 {
+            let a = eg.add(SymbolLang::leaf(format!("p{i}")));
+            let b = eg.add(SymbolLang::leaf(format!("q{i}")));
+            eg.add(SymbolLang::new("g", vec![a, b]));
+        }
+        eg.rebuild();
+        let p = pat("(g ?x ?y)");
+        assert_eq!(p.search(&eg).len(), 500);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(p
+            .search_with_limit_and_token(&eg, usize::MAX, &token)
+            .is_empty());
+    }
+
+    #[test]
+    fn mid_search_cancellation_stops_promptly() {
+        use std::time::{Duration, Instant};
+        let (eg, p) = explosive_workload(80, 200);
+        let start = Instant::now();
+        let full = p.search(&eg);
+        let full_time = start.elapsed();
+        assert!(full.is_empty(), "the nonlinear probe must never close");
+
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                token.cancel();
+            })
+        };
+        let start = Instant::now();
+        let cancelled = p.search_with_limit_and_token(&eg, usize::MAX, &token);
+        let cancelled_time = start.elapsed();
+        canceller.join().unwrap();
+        assert!(cancelled.is_empty());
+        // Only discriminating when the full search is slow enough for
+        // the 5 ms cancel to land mid-flight.
+        if full_time > Duration::from_millis(50) {
+            assert!(
+                cancelled_time < full_time / 2,
+                "cancelled search took {cancelled_time:?} vs full {full_time:?}"
+            );
+        }
+    }
+}

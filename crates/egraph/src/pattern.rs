@@ -1,10 +1,18 @@
-//! Patterns over a [`Language`] and the backtracking e-matcher.
+//! Patterns over a [`Language`], compiled to e-matching VM programs.
+//!
+//! Searching is performed by the compiled abstract machine in
+//! [`crate::machine`]; the legacy recursive backtracking matcher is
+//! retained behind the `oracle` feature (and in unit tests) purely as
+//! a differential-testing oracle.
 
 use std::fmt;
 use std::str::FromStr;
 
+use crate::machine::{Program, RunOutcome};
 use crate::recexpr::{parse_sexp, Sexp};
-use crate::{Analysis, EGraph, FromOp, Id, Language, ParseRecExprError, RecExpr, Symbol};
+use crate::{
+    Analysis, CancelToken, EGraph, FromOp, Id, Language, ParseRecExprError, RecExpr, Symbol,
+};
 
 /// A pattern variable, written `?name` in pattern syntax.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -95,6 +103,18 @@ impl Subst {
         Self::default()
     }
 
+    /// Builds a substitution from distinct `(var, id)` pairs (the VM's
+    /// match materialization; callers guarantee distinctness).
+    pub(crate) fn from_pairs(vec: Vec<(Var, Id)>) -> Self {
+        debug_assert!(
+            vec.iter()
+                .enumerate()
+                .all(|(i, (v, _))| vec[..i].iter().all(|(u, _)| u != v)),
+            "from_pairs requires distinct variables"
+        );
+        Subst { vec }
+    }
+
     /// Binds `var` to `id`, returning the previous binding if any.
     pub fn insert(&mut self, var: Var, id: Id) -> Option<Id> {
         for pair in &mut self.vec {
@@ -172,15 +192,27 @@ impl From<ParseRecExprError> for ParsePatternError {
 /// let p: Pattern<SymbolLang> = "(+ ?a (* ?b ?a))".parse().unwrap();
 /// assert_eq!(p.vars().len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pattern<L> {
     /// The pattern expression; the root is the last node.
     pub ast: RecExpr<ENodeOrVar<L>>,
     vars: Vec<Var>,
+    /// The e-matching VM program this pattern compiles to (built once,
+    /// at construction).
+    program: Program<L>,
 }
 
+impl<L: Language> PartialEq for Pattern<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ast == other.ast
+    }
+}
+
+impl<L: Language> Eq for Pattern<L> {}
+
 impl<L: Language> Pattern<L> {
-    /// Creates a pattern from its AST.
+    /// Creates a pattern from its AST, compiling it to a VM
+    /// [`Program`].
     pub fn new(ast: RecExpr<ENodeOrVar<L>>) -> Self {
         let mut vars = Vec::new();
         for node in ast.iter() {
@@ -190,12 +222,18 @@ impl<L: Language> Pattern<L> {
                 }
             }
         }
-        Self { ast, vars }
+        let program = Program::compile(&ast);
+        Self { ast, vars, program }
     }
 
     /// The distinct variables in this pattern, in first-occurrence order.
     pub fn vars(&self) -> &[Var] {
         &self.vars
+    }
+
+    /// The compiled e-matching program.
+    pub fn program(&self) -> &Program<L> {
+        &self.program
     }
 
     /// Searches the whole e-graph for matches.
@@ -220,35 +258,74 @@ impl<L: Language> Pattern<L> {
         egraph: &EGraph<L, N>,
         limit: usize,
     ) -> Vec<SearchMatches> {
+        self.search_with_limit_and_token(egraph, limit, &CancelToken::new())
+    }
+
+    /// Like [`Pattern::search_with_limit`], with a cooperative
+    /// [`CancelToken`] checked *inside* the matching VM (every
+    /// [`crate::machine::CANCEL_CHECK_QUANTUM`] e-node visits), so a
+    /// cancellation request stops even a single explosive rule search
+    /// promptly. Matches found before the cancellation are returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is not clean (see [`EGraph::rebuild`]).
+    pub fn search_with_limit_and_token<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        limit: usize,
+        cancel: &CancelToken,
+    ) -> Vec<SearchMatches> {
         assert!(
             egraph.is_clean(),
             "search requires a clean (rebuilt) e-graph"
         );
-        let mut total = 0usize;
         let mut out = Vec::new();
-        let mut push = |m: Option<SearchMatches>| -> bool {
+        let mut total = 0usize;
+        if self.program.is_scan() {
+            // A bare-variable pattern matches every class with the
+            // root variable bound to it (the VM's `Scan`).
+            for class in egraph.classes() {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                out.push(SearchMatches {
+                    eclass: class.id,
+                    substs: vec![self.program.subst_for_class(class.id)],
+                });
+                total += 1;
+                if total > limit {
+                    break;
+                }
+            }
+            return out;
+        }
+        // Ground subterms resolve once per search; a missing one means
+        // the pattern cannot match anywhere.
+        let Some(ground) = self.program.resolve_ground_terms(egraph) else {
+            return out;
+        };
+        let root_disc = match &self.ast[self.ast.root()] {
+            ENodeOrVar::ENode(n) => n.discriminant(),
+            ENodeOrVar::Var(_) => unreachable!("var-rooted patterns compile to Scan"),
+        };
+        // Only classes containing the root operator can match; use the
+        // e-graph's operator index to skip the rest.
+        let mut regs = Vec::new();
+        for &id in egraph.classes_with_op(&root_disc) {
+            // The in-VM poll only triggers on budget quanta *within* a
+            // class; checking here too keeps cancellation latency
+            // bounded across runs of small classes.
+            if cancel.is_cancelled() {
+                break;
+            }
+            let (m, outcome) = self.run_vm_on_class(egraph, id, &ground, &mut regs, cancel);
             if let Some(m) = m {
                 total += m.substs.len();
                 out.push(m);
             }
-            total > limit
-        };
-        // Only classes containing the root operator can match; use the
-        // e-graph's operator index to skip the rest.
-        match &self.ast[self.ast.root()] {
-            ENodeOrVar::ENode(root) => {
-                for &id in egraph.classes_with_op(&root.discriminant()) {
-                    if push(self.search_eclass(egraph, id)) {
-                        break;
-                    }
-                }
-            }
-            ENodeOrVar::Var(_) => {
-                for class in egraph.classes() {
-                    if push(self.search_eclass(egraph, class.id)) {
-                        break;
-                    }
-                }
+            if outcome == RunOutcome::Cancelled || total > limit {
+                break;
             }
         }
         out
@@ -257,36 +334,62 @@ impl<L: Language> Pattern<L> {
     /// Searches one e-class for matches.
     ///
     /// The number of substitutions explored per e-class is capped (at
-    /// [`MAX_SUBSTS_PER_CLASS`]) to bound the worst-case backtracking
-    /// blow-up on very large e-classes; truncation is deterministic.
+    /// [`MAX_SUBSTS_PER_CLASS`]) and the per-class matcher work is
+    /// bounded (by [`MATCH_WORK_BUDGET`]) to contain the worst-case
+    /// backtracking blow-up on very large e-classes; truncation is
+    /// deterministic.
     pub fn search_eclass<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
         eclass: Id,
     ) -> Option<SearchMatches> {
+        if self.program.is_scan() {
+            let eclass = egraph.find(eclass);
+            return Some(SearchMatches {
+                eclass,
+                substs: vec![self.program.subst_for_class(eclass)],
+            });
+        }
+        let ground = self.program.resolve_ground_terms(egraph)?;
+        let mut regs = Vec::new();
+        self.run_vm_on_class(egraph, eclass, &ground, &mut regs, &CancelToken::new())
+            .0
+    }
+
+    /// Runs the compiled program on one candidate class and packages
+    /// surviving matches (canonicalized, sorted, deduplicated).
+    fn run_vm_on_class<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+        ground: &[Id],
+        regs: &mut Vec<Id>,
+        cancel: &CancelToken,
+    ) -> (Option<SearchMatches>, RunOutcome) {
         let eclass = egraph.find(eclass);
         let mut substs = Vec::new();
-        let root = self.ast.root();
         let mut budget = MATCH_WORK_BUDGET;
-        match_pattern(
+        let outcome = self.program.run(
             egraph,
-            &self.ast,
-            root,
             eclass,
-            &Subst::new(),
+            ground,
+            regs,
             &mut substs,
             &mut budget,
+            MAX_SUBSTS_PER_CLASS,
+            cancel,
         );
         for s in &mut substs {
             s.canonicalize(egraph);
         }
         substs.sort_unstable();
         substs.dedup();
-        if substs.is_empty() {
+        let matches = if substs.is_empty() {
             None
         } else {
             Some(SearchMatches { eclass, substs })
-        }
+        };
+        (matches, outcome)
     }
 
     /// Instantiates the pattern under `subst`, adding e-nodes to the
@@ -319,10 +422,75 @@ pub const MAX_SUBSTS_PER_CLASS: usize = 256;
 /// alone do not bound the scan cost.
 pub const MATCH_WORK_BUDGET: usize = 50_000;
 
+#[cfg(any(test, feature = "oracle"))]
+impl<L: Language> Pattern<L> {
+    /// Searches the whole e-graph with the *legacy recursive
+    /// backtracking matcher* — retained only as a differential-testing
+    /// oracle for the compiled VM (enable the `oracle` feature to use
+    /// it from other crates' tests). No limits beyond the per-class
+    /// caps are applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is not clean (see [`EGraph::rebuild`]).
+    pub fn search_oracle<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        assert!(
+            egraph.is_clean(),
+            "search requires a clean (rebuilt) e-graph"
+        );
+        let mut out = Vec::new();
+        match &self.ast[self.ast.root()] {
+            ENodeOrVar::ENode(root) => {
+                for &id in egraph.classes_with_op(&root.discriminant()) {
+                    out.extend(self.search_eclass_oracle(egraph, id));
+                }
+            }
+            ENodeOrVar::Var(_) => {
+                for class in egraph.classes() {
+                    out.extend(self.search_eclass_oracle(egraph, class.id));
+                }
+            }
+        }
+        out
+    }
+
+    /// Searches one e-class with the legacy recursive matcher (see
+    /// [`Pattern::search_oracle`]).
+    pub fn search_eclass_oracle<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        let eclass = egraph.find(eclass);
+        let mut substs = Vec::new();
+        let mut budget = MATCH_WORK_BUDGET;
+        match_pattern(
+            egraph,
+            &self.ast,
+            self.ast.root(),
+            eclass,
+            &Subst::new(),
+            &mut substs,
+            &mut budget,
+        );
+        for s in &mut substs {
+            s.canonicalize(egraph);
+        }
+        substs.sort_unstable();
+        substs.dedup();
+        if substs.is_empty() {
+            None
+        } else {
+            Some(SearchMatches { eclass, substs })
+        }
+    }
+}
+
 /// Recursively matches pattern node `pat_id` against e-class `eclass`,
 /// extending `subst`; pushes every complete substitution into `out`
 /// (up to [`MAX_SUBSTS_PER_CLASS`], spending at most `budget` e-node
 /// visits).
+#[cfg(any(test, feature = "oracle"))]
 #[allow(clippy::too_many_arguments)]
 fn match_pattern<L: Language, N: Analysis<L>>(
     egraph: &EGraph<L, N>,

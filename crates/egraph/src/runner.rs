@@ -1,12 +1,12 @@
 //! The saturation driver: [`Runner`], schedulers, and per-iteration
 //! statistics.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::hash::FxHashMap;
 use crate::{Analysis, CancelToken, EGraph, Id, Language, RecExpr, Rewrite, SearchMatches, Symbol};
 
 /// Why a [`Runner`] stopped.
@@ -44,8 +44,11 @@ pub struct Iteration {
     /// Number of e-classes after this iteration.
     pub egraph_classes: usize,
     /// Applications per rule that changed the e-graph.
-    pub applied: HashMap<Symbol, usize>,
-    /// Matches found per rule (before scheduling caps).
+    pub applied: FxHashMap<Symbol, usize>,
+    /// Total substitutions found across all rules this iteration
+    /// (after scheduling caps, before application).
+    pub total_matches: usize,
+    /// Time spent searching for matches.
     pub search_time: Duration,
     /// Time spent applying rules.
     pub apply_time: Duration,
@@ -80,15 +83,20 @@ impl Default for RunnerLimits {
 /// backoff scheduling.
 pub trait RewriteScheduler<L: Language, N: Analysis<L>> {
     /// Searches `rewrite` during `iteration`, possibly skipping or
-    /// truncating matches.
+    /// truncating matches. `cancel` is the runner's cancellation
+    /// token; implementations should thread it into the search so a
+    /// request interrupts even a single explosive rule.
     fn search_rewrite(
         &mut self,
         iteration: usize,
         egraph: &EGraph<L, N>,
         rewrite: &Rewrite<L, N>,
+        cancel: &CancelToken,
     ) -> Vec<SearchMatches> {
         let _ = iteration;
-        rewrite.search(egraph)
+        rewrite
+            .searcher()
+            .search_with_limit_and_token(egraph, usize::MAX, cancel)
     }
 
     /// Returns `true` if saturation can be trusted (no rule was banned
@@ -115,7 +123,7 @@ impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for SimpleScheduler {}
 pub struct BackoffScheduler {
     default_match_limit: usize,
     default_ban_length: usize,
-    stats: HashMap<Symbol, RuleStats>,
+    stats: FxHashMap<Symbol, RuleStats>,
 }
 
 #[derive(Debug, Clone)]
@@ -133,7 +141,7 @@ impl BackoffScheduler {
         Self {
             default_match_limit: match_limit,
             default_ban_length: ban_length,
-            stats: HashMap::new(),
+            stats: FxHashMap::default(),
         }
     }
 
@@ -159,7 +167,11 @@ impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for BackoffScheduler {
         iteration: usize,
         egraph: &EGraph<L, N>,
         rewrite: &Rewrite<L, N>,
+        cancel: &CancelToken,
     ) -> Vec<SearchMatches> {
+        // One stats-table lookup per rule per iteration: the entry
+        // stays borrowed across the search (which only touches the
+        // e-graph), instead of being re-fetched to record the outcome.
         let stats = self.rule_stats(rewrite.name());
         if iteration < stats.banned_until {
             return vec![];
@@ -167,9 +179,10 @@ impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for BackoffScheduler {
         let allowed = stats.match_limit << stats.times_banned;
         // Bounded search: an explosive rule costs at most `allowed`
         // substitutions before it gets banned.
-        let matches = rewrite.searcher().search_with_limit(egraph, allowed);
+        let matches = rewrite
+            .searcher()
+            .search_with_limit_and_token(egraph, allowed, cancel);
         let total: usize = matches.iter().map(|m| m.substs.len()).sum();
-        let stats = self.rule_stats(rewrite.name());
         if total > allowed {
             let ban = stats.ban_length << stats.times_banned;
             stats.times_banned += 1;
@@ -322,15 +335,21 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     all_matches.push(vec![]);
                     continue;
                 }
-                all_matches.push(self.scheduler.search_rewrite(iteration, &self.egraph, rule));
+                all_matches.push(self.scheduler.search_rewrite(
+                    iteration,
+                    &self.egraph,
+                    rule,
+                    &self.cancel,
+                ));
             }
+            let total_matches = all_matches.iter().flatten().map(|m| m.substs.len()).sum();
             let search_time = iter_start.elapsed();
 
             // Apply phase. The node limit is also enforced *between*
             // rules so a single explosive iteration cannot overshoot by
             // more than one rule's worth of matches.
             let apply_start = Instant::now();
-            let mut applied: HashMap<Symbol, usize> = HashMap::new();
+            let mut applied: FxHashMap<Symbol, usize> = FxHashMap::default();
             let mut apply_aborted = false;
             for (rule, matches) in rules.iter().zip(&all_matches) {
                 if self.egraph.total_number_of_nodes() > self.limits.node_limit
@@ -358,6 +377,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 egraph_nodes: self.egraph.total_number_of_nodes(),
                 egraph_classes: self.egraph.num_classes(),
                 applied,
+                total_matches,
                 search_time,
                 apply_time,
                 rebuild_time,

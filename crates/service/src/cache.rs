@@ -1,8 +1,9 @@
 //! The structural-hash result cache.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use egraph::hash::FxHashMap;
 
 use crate::fingerprint::Fingerprint;
 use crate::job::ResultSummary;
@@ -50,7 +51,9 @@ pub struct ResultCache {
 }
 
 struct CacheInner {
-    map: HashMap<CacheKey, Entry>,
+    // Keys are already-uniform fingerprints, so the e-graph's fast
+    // FxHash hasher is safe and skips SipHash on every job lookup.
+    map: FxHashMap<CacheKey, Entry>,
     /// Monotonic logical clock; bumped on every touch.
     tick: u64,
 }
@@ -68,7 +71,7 @@ impl ResultCache {
         ResultCache {
             capacity,
             inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
+                map: FxHashMap::default(),
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
