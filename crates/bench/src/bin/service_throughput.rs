@@ -78,6 +78,7 @@ fn main() {
             num_workers: workers,
             queue_capacity: jobs.max(1),
             cache_capacity: jobs.max(1),
+            cache_dir: None,
         });
         let pool_start = Instant::now();
         let outcomes = service.run_batch(workload(jobs));

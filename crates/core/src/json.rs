@@ -1,4 +1,5 @@
-//! A hand-rolled JSON writer (no serde) for machine-readable output.
+//! A hand-rolled JSON round-trip layer (no serde) for machine-readable
+//! output and the service's persistent result store.
 //!
 //! The workspace is dependency-free by design, so results are
 //! serialized through a tiny document model: build a [`Json`] value,
@@ -6,6 +7,15 @@
 //! [`Json::pretty`] (indented). Object keys keep insertion order, so
 //! output is byte-stable across runs — the service's batch mode relies
 //! on that to compare concurrent and serial results.
+//!
+//! The inverse direction is [`Json::parse`] (a recursive-descent
+//! parser over the same grammar the writer emits) plus the [`FromJson`]
+//! trait, which rebuilds result types from parsed documents. Canonical
+//! documents round-trip exactly: `Json::parse(&doc.to_string())`
+//! returns `doc` for every document the writer produces that contains
+//! no non-integral finite floats (the only lossy corner: `Float(2.0)`
+//! prints as `2`, which re-parses as `Int(2)`; canonical result
+//! documents contain no such floats).
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -94,6 +104,389 @@ impl Json {
                 v.write(out, indent, level + 1);
             }),
         }
+    }
+}
+
+/// An error from [`Json::parse`] or a [`FromJson`] conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description; parse errors include a byte offset.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Builds an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Accessors used by [`FromJson`] implementations. All return `None`
+/// on a variant mismatch; the `expect_*` variants wrap that in a
+/// [`JsonError`] naming the field for store-corruption diagnostics.
+impl Json {
+    /// Parses a JSON document. The whole input must be one value
+    /// (trailing non-whitespace is an error). Nesting is limited to
+    /// [`Json::MAX_PARSE_DEPTH`] levels so hostile inputs fail with an
+    /// error instead of exhausting the stack.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing content after document"));
+        }
+        Ok(value)
+    }
+
+    /// Maximum nesting depth [`Json::parse`] accepts.
+    pub const MAX_PARSE_DEPTH: usize = 128;
+
+    /// Looks up `key` in an object; `None` on other variants.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative `usize`, if this is an `Int` in
+    /// range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_int().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The numeric value, if this is an `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Arr`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// [`Json::field`] with a descriptive error on absence.
+    pub fn expect_field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.field(key)
+            .ok_or_else(|| JsonError::new(format!("missing object field {key:?}")))
+    }
+
+    /// [`Json::as_usize`] with a descriptive error, for field `name`.
+    pub fn expect_usize(&self, name: &str) -> Result<usize, JsonError> {
+        self.as_usize()
+            .ok_or_else(|| JsonError::new(format!("field {name:?} is not a non-negative integer")))
+    }
+}
+
+/// Checks that `json` is an object holding exactly the keys in
+/// `expected` (any order, no duplicates, no extras) and returns the
+/// values in `expected` order. [`FromJson`] impls use this to reject
+/// stale or corrupt store documents instead of filling defaults.
+pub fn expect_exact_fields<'a, const N: usize>(
+    json: &'a Json,
+    expected: [&str; N],
+) -> Result<[&'a Json; N], JsonError> {
+    let Json::Obj(pairs) = json else {
+        return Err(JsonError::new("expected a JSON object"));
+    };
+    for (key, _) in pairs {
+        if !expected.contains(&key.as_str()) {
+            return Err(JsonError::new(format!("unexpected object field {key:?}")));
+        }
+    }
+    let mut values = [json; N];
+    for (slot, key) in values.iter_mut().zip(expected) {
+        let mut found = pairs.iter().filter(|(k, _)| k == key);
+        *slot = found
+            .next()
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError::new(format!("missing object field {key:?}")))?;
+        if found.next().is_some() {
+            return Err(JsonError::new(format!("duplicate object field {key:?}")));
+        }
+    }
+    Ok(values)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", char::from(expected))))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > Json::MAX_PARSE_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uDC00–\uDFFF escape
+                                // must follow to complete the pair.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("lone low surrogate"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. The input is a &str, so
+                    // slicing at the next char boundary cannot fail.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input was a &str");
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bytes.get(self.pos) {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("expected four hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digit_run();
+        if int_digits == 0 {
+            return Err(self.error("expected a digit"));
+        }
+        // JSON forbids leading zeros ("01"); a single "0" is fine.
+        if int_digits > 1 && self.bytes[self.pos - int_digits] == b'0' {
+            return Err(self.error("leading zero in number"));
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.error("expected a digit after '.'"));
+            }
+        }
+        if let Some(b'e' | b'E') = self.bytes.get(self.pos) {
+            is_float = true;
+            self.pos += 1;
+            if let Some(b'+' | b'-') = self.bytes.get(self.pos) {
+                self.pos += 1;
+            }
+            if self.digit_run() == 0 {
+                return Err(self.error("expected a digit in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+            // Integral but outside i64: fall through to f64.
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.error("malformed number"))
+    }
+
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b'0'..=b'9') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+        self.pos - start
     }
 }
 
@@ -206,6 +599,135 @@ impl From<String> for Json {
 pub trait ToJson {
     /// Converts to a [`Json`] document.
     fn to_json(&self) -> Json;
+}
+
+/// Types reconstructible from their canonical JSON representation.
+///
+/// Implementations are strict: a document with missing, duplicate,
+/// extra, or mistyped fields is rejected, so the service's persistent
+/// store treats any format drift as a cache miss instead of loading a
+/// half-right result. For every value `v` whose canonical document
+/// omits wall-clock fields, `from_json(&v.to_json())` re-serializes
+/// byte-identically to `v.to_json()`.
+pub trait FromJson: Sized {
+    /// Rebuilds a value from a [`Json`] document.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl FromJson for StopReason {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) if s == "saturated" => Ok(StopReason::Saturated),
+            Json::Str(s) if s == "cancelled" => Ok(StopReason::Cancelled),
+            Json::Obj(pairs) if pairs.len() == 1 => {
+                let (key, value) = &pairs[0];
+                match key.as_str() {
+                    "iter_limit" => Ok(StopReason::IterLimit(value.expect_usize("iter_limit")?)),
+                    "node_limit" => Ok(StopReason::NodeLimit(value.expect_usize("node_limit")?)),
+                    "time_limit_ms" => {
+                        let ms = value.as_f64().ok_or_else(|| {
+                            JsonError::new("field \"time_limit_ms\" is not a duration")
+                        })?;
+                        // try_: a negative, non-finite, or
+                        // Duration-overflowing value in a corrupt store
+                        // record must be a conversion error (= cache
+                        // miss), never a panic.
+                        Duration::try_from_secs_f64(ms / 1e3)
+                            .map(StopReason::TimeLimit)
+                            .map_err(|_| JsonError::new("field \"time_limit_ms\" is out of range"))
+                    }
+                    other => Err(JsonError::new(format!("unknown stop reason {other:?}"))),
+                }
+            }
+            _ => Err(JsonError::new("malformed stop reason")),
+        }
+    }
+}
+
+impl FromJson for SaturationStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let [nodes_after_r1, nodes_after_r2, classes, r1_stop, r2_stop, r1_iterations, r2_iterations, pruned, total_matches, cancelled] =
+            expect_exact_fields(
+                json,
+                [
+                    "nodes_after_r1",
+                    "nodes_after_r2",
+                    "classes",
+                    "r1_stop",
+                    "r2_stop",
+                    "r1_iterations",
+                    "r2_iterations",
+                    "pruned",
+                    "total_matches",
+                    "cancelled",
+                ],
+            )?;
+        let stats = SaturationStats {
+            nodes_after_r1: nodes_after_r1.expect_usize("nodes_after_r1")?,
+            nodes_after_r2: nodes_after_r2.expect_usize("nodes_after_r2")?,
+            classes: classes.expect_usize("classes")?,
+            r1_stop: StopReason::from_json(r1_stop)?,
+            r2_stop: StopReason::from_json(r2_stop)?,
+            r1_iterations: r1_iterations.expect_usize("r1_iterations")?,
+            r2_iterations: r2_iterations.expect_usize("r2_iterations")?,
+            pruned: pruned.expect_usize("pruned")?,
+            // Wall-clock phase times are deliberately absent from the
+            // canonical document (see `ToJson`); a summary reloaded
+            // from the persistent store reports zero phase times.
+            search_time: Duration::ZERO,
+            apply_time: Duration::ZERO,
+            rebuild_time: Duration::ZERO,
+            total_matches: total_matches.expect_usize("total_matches")?,
+        };
+        let claimed = cancelled
+            .as_bool()
+            .ok_or_else(|| JsonError::new("field \"cancelled\" is not a boolean"))?;
+        if claimed != stats.was_cancelled() {
+            return Err(JsonError::new(
+                "field \"cancelled\" contradicts the stop reasons",
+            ));
+        }
+        Ok(stats)
+    }
+}
+
+impl FromJson for PairStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let [fa_inserted, xor3_triples, maj_triples] =
+            expect_exact_fields(json, ["fa_inserted", "xor3_triples", "maj_triples"])?;
+        Ok(PairStats {
+            fa_inserted: fa_inserted.expect_usize("fa_inserted")?,
+            xor3_triples: xor3_triples.expect_usize("xor3_triples")?,
+            maj_triples: maj_triples.expect_usize("maj_triples")?,
+        })
+    }
+}
+
+fn lit_from_json(json: &Json, name: &str) -> Result<aig::Lit, JsonError> {
+    let raw = json
+        .as_int()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| JsonError::new(format!("field {name:?} is not a raw literal")))?;
+    Ok(aig::Lit(raw))
+}
+
+impl FromJson for crate::pipeline::RecoveredFa {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let [inputs, sum, carry] = expect_exact_fields(json, ["inputs", "sum", "carry"])?;
+        let items = inputs
+            .as_array()
+            .filter(|items| items.len() == 3)
+            .ok_or_else(|| JsonError::new("field \"inputs\" is not a 3-literal array"))?;
+        Ok(crate::pipeline::RecoveredFa {
+            inputs: [
+                lit_from_json(&items[0], "inputs")?,
+                lit_from_json(&items[1], "inputs")?,
+                lit_from_json(&items[2], "inputs")?,
+            ],
+            sum: lit_from_json(sum, "sum")?,
+            carry: lit_from_json(carry, "carry")?,
+        })
+    }
 }
 
 impl ToJson for StopReason {
@@ -326,6 +848,280 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(Json::Float(f64::NAN).to_string(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parser_accepts_the_grammar() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("-2.5e3").unwrap(), Json::Float(-2500.0));
+        assert_eq!(Json::parse("2E-1").unwrap(), Json::Float(0.2));
+        assert_eq!(Json::parse("\"a\"").unwrap(), Json::str("a"));
+        assert_eq!(
+            Json::parse("[1, [2], {}]").unwrap(),
+            Json::arr([
+                Json::Int(1),
+                Json::arr([Json::Int(2)]),
+                Json::obj::<String>([])
+            ])
+        );
+        assert_eq!(
+            Json::parse("{ \"a\" : 1 , \"b\" : [ ] }").unwrap(),
+            Json::obj([("a", Json::Int(1)), ("b", Json::arr([]))])
+        );
+        // i64 overflow degrades to a float instead of erroring.
+        assert_eq!(
+            Json::parse("99999999999999999999").unwrap(),
+            Json::Float(1e20)
+        );
+    }
+
+    #[test]
+    fn parser_decodes_escapes() {
+        assert_eq!(
+            Json::parse(r#""x\"y\\z\n\r\t\/\b\f""#).unwrap(),
+            Json::str("x\"y\\z\n\r\t/\u{8}\u{c}")
+        );
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::str("A"));
+        assert_eq!(Json::parse(r#""é""#).unwrap(), Json::str("é"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(Json::parse("\"héllo\"").unwrap(), Json::str("héllo"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "tru",
+            "nul",
+            "01",
+            "-",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "[1,]",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "\"\u{1}\"",
+            "1 2",
+            "null trailing",
+            "[1] []",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+        // Deep nesting is an error, not a stack overflow.
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn exact_fields_is_order_insensitive_but_strict() {
+        let doc = Json::obj([("b", Json::Int(2)), ("a", Json::Int(1))]);
+        let [a, b] = expect_exact_fields(&doc, ["a", "b"]).unwrap();
+        assert_eq!((a, b), (&Json::Int(1), &Json::Int(2)));
+        assert!(expect_exact_fields(&doc, ["a"]).is_err(), "extra field");
+        assert!(expect_exact_fields(&doc, ["a", "b", "c"]).is_err());
+        let dup = Json::Obj(vec![
+            ("a".to_owned(), Json::Int(1)),
+            ("a".to_owned(), Json::Int(2)),
+        ]);
+        assert!(expect_exact_fields(&dup, ["a"]).is_err(), "duplicate");
+        assert!(expect_exact_fields(&Json::Int(3), ["a"]).is_err());
+    }
+
+    #[test]
+    fn stop_reason_round_trips() {
+        let reasons = [
+            StopReason::Saturated,
+            StopReason::Cancelled,
+            StopReason::IterLimit(7),
+            StopReason::NodeLimit(100_000),
+            StopReason::TimeLimit(Duration::from_millis(250)),
+        ];
+        for reason in reasons {
+            let doc = reason.to_json();
+            let back = StopReason::from_json(&Json::parse(&doc.to_string()).unwrap()).unwrap();
+            assert_eq!(
+                back.to_json().to_string(),
+                doc.to_string(),
+                "{reason:?} did not round-trip"
+            );
+        }
+        assert!(StopReason::from_json(&Json::str("exploded")).is_err());
+        assert!(StopReason::from_json(&Json::obj([("warp_limit", Json::Int(1))])).is_err());
+        assert!(StopReason::from_json(&Json::obj([("time_limit_ms", Json::Float(-1.0))])).is_err());
+        // Finite but Duration-overflowing: an error, never a panic —
+        // a corrupt store record must degrade to a miss.
+        assert!(StopReason::from_json(&Json::obj([("time_limit_ms", Json::Float(1e30))])).is_err());
+    }
+
+    #[test]
+    fn saturation_stats_reject_contradictory_cancelled_flag() {
+        let aig = aig::gen::csa_multiplier(3);
+        let result = crate::BoolE::new(crate::BooleParams::small()).run(&aig);
+        let mut doc = result.saturation.to_json();
+        let Json::Obj(pairs) = &mut doc else {
+            panic!("stats serialize as an object")
+        };
+        let flag = pairs
+            .iter_mut()
+            .find(|(k, _)| k == "cancelled")
+            .expect("cancelled field");
+        flag.1 = Json::Bool(true); // stops say otherwise
+        assert!(SaturationStats::from_json(&doc).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn parse_is_the_inverse_of_print(doc in arb_json()) {
+            let text = doc.to_string();
+            let parsed = Json::parse(&text).expect("writer output must parse");
+            proptest::prop_assert_eq!(&parsed, &doc, "parse(print(doc)) != doc for {}", text);
+            // And printing the parse is a fixpoint.
+            proptest::prop_assert_eq!(parsed.to_string(), text);
+        }
+
+        #[test]
+        fn parse_is_the_inverse_of_pretty_print(doc in arb_json()) {
+            let parsed = Json::parse(&doc.pretty()).expect("pretty output must parse");
+            proptest::prop_assert_eq!(&parsed, &doc);
+        }
+
+        #[test]
+        fn stats_documents_round_trip(
+            stats in arb_saturation_stats(),
+            pairing in arb_pair_stats(),
+            fa in arb_recovered_fa(),
+        ) {
+            let doc = stats.to_json();
+            let back = SaturationStats::from_json(&Json::parse(&doc.to_string()).unwrap())
+                .expect("canonical stats must parse");
+            proptest::prop_assert_eq!(back.to_json().to_string(), doc.to_string());
+
+            let doc = pairing.to_json();
+            let back = PairStats::from_json(&Json::parse(&doc.to_string()).unwrap()).unwrap();
+            proptest::prop_assert_eq!(back.to_json().to_string(), doc.to_string());
+
+            let doc = fa.to_json();
+            let back = crate::pipeline::RecoveredFa::from_json(
+                &Json::parse(&doc.to_string()).unwrap(),
+            )
+            .unwrap();
+            proptest::prop_assert_eq!(back.to_json().to_string(), doc.to_string());
+        }
+    }
+
+    /// Random canonical-shaped documents: every variant, but floats are
+    /// restricted to values whose shortest printed form re-parses to
+    /// the same variant (`Float(2.0)` prints as `2`, which re-parses as
+    /// `Int(2)` — the writer never emits such floats in canonical
+    /// documents).
+    fn arb_json() -> impl proptest::Strategy<Value = Json> {
+        use proptest::Strategy as _;
+        let leaf = proptest::prop_oneof![
+            proptest::Just(Json::Null),
+            proptest::any::<bool>().prop_map(Json::Bool),
+            proptest::any::<i64>().prop_map(Json::Int),
+            (-1_000_000i64..1_000_000).prop_map(|n| Json::Float(n as f64 + 0.5)),
+            arb_string().prop_map(Json::Str),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            proptest::prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+                proptest::collection::vec((arb_string(), inner), 0..4).prop_map(Json::Obj),
+            ]
+        })
+    }
+
+    fn arb_string() -> impl proptest::Strategy<Value = String> {
+        use proptest::Strategy as _;
+        proptest::collection::vec(
+            proptest::prop_oneof![
+                (32u32..127).prop_map(|c| char::from_u32(c).unwrap()),
+                proptest::Just('"'),
+                proptest::Just('\\'),
+                proptest::Just('\n'),
+                proptest::Just('\u{1}'),
+                proptest::Just('é'),
+                proptest::Just('\u{1F600}'),
+            ],
+            0..8,
+        )
+        .prop_map(|chars| chars.into_iter().collect())
+    }
+
+    fn arb_stop_reason() -> impl proptest::Strategy<Value = StopReason> {
+        use proptest::Strategy as _;
+        proptest::prop_oneof![
+            proptest::Just(StopReason::Saturated),
+            proptest::Just(StopReason::Cancelled),
+            (0usize..1000).prop_map(StopReason::IterLimit),
+            (0usize..1_000_000).prop_map(StopReason::NodeLimit),
+            // Whole milliseconds survive the f64-ms encoding exactly.
+            (0u64..100_000).prop_map(|ms| StopReason::TimeLimit(Duration::from_millis(ms))),
+        ]
+    }
+
+    fn arb_saturation_stats() -> impl proptest::Strategy<Value = SaturationStats> {
+        use proptest::Strategy as _;
+        (
+            (0usize..10_000, 0usize..10_000, 0usize..10_000),
+            (arb_stop_reason(), arb_stop_reason()),
+            (0usize..100, 0usize..100, 0usize..10_000, 0usize..1_000_000),
+        )
+            .prop_map(|((n1, n2, classes), (r1, r2), (i1, i2, pruned, matches))| {
+                SaturationStats {
+                    nodes_after_r1: n1,
+                    nodes_after_r2: n2,
+                    classes,
+                    r1_stop: r1,
+                    r2_stop: r2,
+                    r1_iterations: i1,
+                    r2_iterations: i2,
+                    pruned,
+                    search_time: Duration::ZERO,
+                    apply_time: Duration::ZERO,
+                    rebuild_time: Duration::ZERO,
+                    total_matches: matches,
+                }
+            })
+    }
+
+    fn arb_pair_stats() -> impl proptest::Strategy<Value = PairStats> {
+        use proptest::Strategy as _;
+        (0usize..1000, 0usize..1000, 0usize..1000).prop_map(|(fa, xor3, maj)| PairStats {
+            fa_inserted: fa,
+            xor3_triples: xor3,
+            maj_triples: maj,
+        })
+    }
+
+    fn arb_recovered_fa() -> impl proptest::Strategy<Value = crate::pipeline::RecoveredFa> {
+        use proptest::Strategy as _;
+        (
+            (0u32..10_000, 0u32..10_000, 0u32..10_000),
+            0u32..10_000,
+            0u32..10_000,
+        )
+            .prop_map(|((a, b, c), sum, carry)| crate::pipeline::RecoveredFa {
+                inputs: [aig::Lit(a), aig::Lit(b), aig::Lit(c)],
+                sum: aig::Lit(sum),
+                carry: aig::Lit(carry),
+            })
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod saturate;
 pub use convert::{aig_to_egraph, NetlistEGraph};
 pub use egraph::CancelToken;
 pub use extract::{extract_dag, DagChoice, DagExtraction};
-pub use json::{Json, ToJson};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use lang::{BoolLang, BoolOp};
 pub use pair::{pair_full_adders, PairStats};
 pub use pipeline::{

@@ -8,16 +8,18 @@
 //! boole gen <spec> [<spec> ...] [options] generated benchmarks (csa:16,
 //!                                         booth:8:mapped, wallace:4:dch)
 //!
-//! options:
+//! options (interleave freely with positional arguments):
 //!   --workers N        worker threads (default: min(cpus, 4))
 //!   --serial           run inline on one thread, bypassing the pool and cache
 //!   --deadline-ms N    per-job deadline; expired jobs are cancelled
 //!   --params P         default | small | lightweight
+//!   --cache-dir DIR    persistent result cache; hits survive across runs
 //!   --no-cache         skip the structural-hash result cache
 //!   --no-timing        omit wall-clock fields (canonical, reproducible JSON)
 //!   --compact          one-line JSON instead of pretty-printed
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -30,21 +32,27 @@ struct Options {
     serial: bool,
     deadline: Option<Duration>,
     params: BooleParams,
+    cache_dir: Option<PathBuf>,
     use_cache: bool,
     timing: bool,
     pretty: bool,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+/// Parses a command's arguments into options plus the positional
+/// (non-`--`) arguments, which may be freely interleaved with options:
+/// `boole gen csa:4 --workers 2 booth:4` sees specs `[csa:4, booth:4]`.
+fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
     let mut opts = Options {
         workers: None,
         serial: false,
         deadline: None,
         params: BooleParams::default(),
+        cache_dir: None,
         use_cache: true,
         timing: true,
         pretty: true,
     };
+    let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +77,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
                 i += 2;
             }
+            "--cache-dir" => {
+                let v = args.get(i + 1).ok_or("--cache-dir needs a value")?;
+                opts.cache_dir = Some(PathBuf::from(v));
+                i += 2;
+            }
             "--serial" => {
                 opts.serial = true;
                 i += 1;
@@ -85,10 +98,25 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.pretty = false;
                 i += 1;
             }
-            other => return Err(format!("unknown option {other:?}")),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            _ => {
+                positional.push(args[i].clone());
+                i += 1;
+            }
         }
     }
-    Ok(opts)
+    if opts.serial && opts.cache_dir.is_some() {
+        return Err("--serial bypasses the cache; drop it or --cache-dir".to_owned());
+    }
+    if opts.serial && opts.workers.is_some() {
+        return Err("--serial runs one job at a time; drop it or --workers".to_owned());
+    }
+    if !opts.use_cache && opts.cache_dir.is_some() {
+        return Err("--no-cache disables all cache tiers; drop it or --cache-dir".to_owned());
+    }
+    Ok((opts, positional))
 }
 
 fn make_spec(source_spec: JobSpec, opts: &Options) -> JobSpec {
@@ -112,6 +140,9 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> (Json, bool) {
         let mut config = ServiceConfig::default();
         if let Some(workers) = opts.workers {
             config = config.with_workers(workers);
+        }
+        if let Some(dir) = &opts.cache_dir {
+            config = config.with_cache_dir(dir);
         }
         let service = Service::new(config);
         let outcomes = service.run_batch(specs);
@@ -145,7 +176,8 @@ fn usage() -> String {
      netlists: .aag (ASCII AIGER), .aig (binary AIGER), .blif, .v (structural Verilog);\n\
      \x20         batch mixes formats freely\n\
      options: --workers N --serial --deadline-ms N --params default|small|lightweight\n\
-     \x20        --no-cache --no-timing --compact\n\
+     \x20        --cache-dir DIR --no-cache --no-timing --compact\n\
+     \x20        (options and positional arguments may be interleaved)\n\
      gen specs: csa:N | booth:N | wallace:N, optional suffix :mapped or :dch"
         .to_owned()
 }
@@ -153,16 +185,33 @@ fn usage() -> String {
 /// Collects every supported netlist under `dir`, recursively: real
 /// benchmark suites (e.g. the EPFL checkout) nest circuits in
 /// subdirectories. The listing is sorted for reproducible job order.
+///
+/// Directories are deduplicated by canonical path, so a symlink cycle
+/// (`sub/loop -> ..`) terminates and a symlink aliasing a directory
+/// already in the tree does not double-count its circuits. Unreadable
+/// directories and entries are hard errors, not silent omissions: a
+/// batch that would skip netlists it was asked to process must fail
+/// loudly instead of reporting a clean partial run.
 fn collect_netlist_files(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let canonical = |path: &std::path::Path| {
+        std::fs::canonicalize(path)
+            .map_err(|e| format!("cannot resolve directory {}: {e}", path.display()))
+    };
     let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(canonical(dir)?);
     let mut stack = vec![dir.to_path_buf()];
     while let Some(current) = stack.pop() {
         let entries = std::fs::read_dir(&current)
             .map_err(|e| format!("cannot read directory {}: {e}", current.display()))?;
-        for entry in entries.filter_map(Result::ok) {
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| format!("cannot read an entry of {}: {e}", current.display()))?;
             let path = entry.path();
             if path.is_dir() {
-                stack.push(path);
+                if visited.insert(canonical(&path)?) {
+                    stack.push(path);
+                }
             } else if path
                 .extension()
                 .and_then(|ext| ext.to_str())
@@ -193,13 +242,23 @@ fn run() -> Result<RunPlan, String> {
     let (command, rest) = args.split_first().ok_or_else(usage)?;
     let (specs, opts) = match command.as_str() {
         "run" => {
-            let (file, rest) = rest.split_first().ok_or("run: missing <netlist file>")?;
-            let opts = parse_options(rest)?;
+            let (opts, positional) = parse_args(rest)?;
+            let [file] = positional.as_slice() else {
+                return Err(format!(
+                    "run: expected exactly one <netlist file>, got {}",
+                    positional.len()
+                ));
+            };
             (vec![make_spec(JobSpec::file(file), &opts)], opts)
         }
         "batch" => {
-            let (dir, rest) = rest.split_first().ok_or("batch: missing <dir>")?;
-            let opts = parse_options(rest)?;
+            let (opts, positional) = parse_args(rest)?;
+            let [dir] = positional.as_slice() else {
+                return Err(format!(
+                    "batch: expected exactly one <dir>, got {}",
+                    positional.len()
+                ));
+            };
             let specs = collect_netlist_files(std::path::Path::new(dir))?
                 .into_iter()
                 .map(|p| make_spec(JobSpec::file(p), &opts))
@@ -207,15 +266,10 @@ fn run() -> Result<RunPlan, String> {
             (specs, opts)
         }
         "gen" => {
-            let split = rest
-                .iter()
-                .position(|a| a.starts_with("--"))
-                .unwrap_or(rest.len());
-            let (spec_args, opt_args) = rest.split_at(split);
+            let (opts, spec_args) = parse_args(rest)?;
             if spec_args.is_empty() {
                 return Err("gen: missing at least one <family:bits[:prep]> spec".to_owned());
             }
-            let opts = parse_options(opt_args)?;
             let specs = spec_args
                 .iter()
                 .map(|text| Ok(make_spec(JobSpec::generated(GenSpec::parse(text)?), &opts)))
@@ -254,5 +308,99 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn specs_and_options_interleave() {
+        // Regression: `boole gen csa:4 --workers 2 booth:4` used to
+        // reject `booth:4` as an unknown option because everything
+        // after the first `--` token was fed to the option parser.
+        let (opts, positional) =
+            parse_args(&strings(&["csa:4", "--workers", "2", "booth:4"])).unwrap();
+        assert_eq!(opts.workers, Some(2));
+        assert_eq!(positional, strings(&["csa:4", "booth:4"]));
+
+        let (opts, positional) = parse_args(&strings(&[
+            "--compact",
+            "wallace:3",
+            "--cache-dir",
+            "/tmp/c",
+            "--no-timing",
+        ]))
+        .unwrap();
+        assert!(!opts.pretty);
+        assert!(!opts.timing);
+        assert_eq!(
+            opts.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+        assert_eq!(positional, strings(&["wallace:3"]));
+    }
+
+    #[test]
+    fn option_errors_are_targeted() {
+        assert!(parse_args(&strings(&["--frobnicate"]))
+            .err()
+            .unwrap()
+            .contains("unknown option"));
+        assert!(parse_args(&strings(&["--workers"]))
+            .err()
+            .unwrap()
+            .contains("needs a value"));
+        assert!(parse_args(&strings(&["--workers", "x"]))
+            .err()
+            .unwrap()
+            .contains("bad --workers"));
+        assert!(parse_args(&strings(&["--serial", "--cache-dir", "/tmp/c"]))
+            .err()
+            .unwrap()
+            .contains("--serial"));
+        assert!(parse_args(&strings(&["--serial", "--workers", "2"]))
+            .err()
+            .unwrap()
+            .contains("--serial"));
+        assert!(
+            parse_args(&strings(&["--no-cache", "--cache-dir", "/tmp/c"]))
+                .err()
+                .unwrap()
+                .contains("--no-cache")
+        );
+    }
+
+    #[test]
+    fn collector_survives_symlink_cycles_and_does_not_double_count() {
+        let dir = std::env::temp_dir().join(format!("boole-collect-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        let circuit = aig::gen::csa_multiplier(3);
+        aig::write_netlist(dir.join("top.aag"), &circuit).unwrap();
+        aig::write_netlist(dir.join("sub/nested.aag"), &circuit).unwrap();
+        // A cycle back to the root and an alias of a sibling: pre-fix,
+        // the first looped forever and the second double-counted
+        // sub/nested.aag.
+        std::os::unix::fs::symlink("..", dir.join("sub/loop")).unwrap();
+        std::os::unix::fs::symlink(dir.join("sub"), dir.join("alias")).unwrap();
+        let files = collect_netlist_files(&dir).unwrap();
+        assert_eq!(
+            files.len(),
+            2,
+            "each netlist must be listed exactly once: {files:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn collector_reports_missing_directories() {
+        let err = collect_netlist_files(std::path::Path::new("/nonexistent/never")).unwrap_err();
+        assert!(err.contains("cannot resolve"), "got: {err}");
     }
 }

@@ -27,6 +27,24 @@ impl fmt::Display for Fingerprint {
     }
 }
 
+/// Parses the 32-hex-digit form [`Display`](fmt::Display) emits. The
+/// persistent store round-trips keys through this to validate that a
+/// record on disk really belongs to the key that hashed to its file
+/// name, and it gives future shard routers a wire format for free.
+impl std::str::FromStr for Fingerprint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("expected 32 hex digits, got {s:?}"));
+        }
+        let lane = |range: std::ops::Range<usize>| {
+            u64::from_str_radix(&s[range], 16).expect("checked hex digits")
+        };
+        Ok(Fingerprint([lane(0..16), lane(16..32)]))
+    }
+}
+
 /// The standard splitmix64 finalizer: a cheap full-avalanche mix.
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
@@ -226,6 +244,16 @@ mod tests {
         let f3 = fingerprint_aig(&aig::gen::csa_multiplier(3));
         let f4 = fingerprint_aig(&aig::gen::csa_multiplier(4));
         assert_ne!(f3, f4);
+    }
+
+    #[test]
+    fn fingerprint_display_parses_back() {
+        let fp = fingerprint_aig(&aig::gen::csa_multiplier(3));
+        let text = fp.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(text.parse::<Fingerprint>().unwrap(), fp);
+        assert!("short".parse::<Fingerprint>().is_err());
+        assert!("zz".repeat(16).parse::<Fingerprint>().is_err());
     }
 
     #[test]

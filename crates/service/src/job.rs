@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use aig::Aig;
-use boole::json::{Json, ToJson};
+use boole::json::{expect_exact_fields, FromJson, Json, JsonError, ToJson};
 use boole::{BooleParams, BooleResult, PairStats, Phase, RecoveredFa, SaturationStats};
 
 /// Where a job's netlist comes from.
@@ -300,6 +300,48 @@ impl ToJson for ResultSummary {
     }
 }
 
+/// Rebuilds a summary from its canonical document (the exact shape
+/// [`ToJson`] emits — strict, so corrupt or stale persistent-store
+/// entries are rejected as a whole). `pipeline_runtime` is not part of
+/// the canonical document and comes back zero; the disk store carries
+/// it in the record envelope and restores it after this conversion.
+impl FromJson for ResultSummary {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let [exact_fa_count, reconstructed, fas, original_fas, saturation, pairing] =
+            expect_exact_fields(
+                json,
+                [
+                    "exact_fa_count",
+                    "reconstructed",
+                    "fas",
+                    "original_fas",
+                    "saturation",
+                    "pairing",
+                ],
+            )?;
+        let [inputs, outputs, ands] =
+            expect_exact_fields(reconstructed, ["inputs", "outputs", "ands"])?;
+        let fa_list = |json: &Json, name: &str| -> Result<Vec<RecoveredFa>, JsonError> {
+            json.as_array()
+                .ok_or_else(|| JsonError::new(format!("field {name:?} is not an array")))?
+                .iter()
+                .map(RecoveredFa::from_json)
+                .collect()
+        };
+        Ok(ResultSummary {
+            exact_fa_count: exact_fa_count.expect_usize("exact_fa_count")?,
+            inputs: inputs.expect_usize("inputs")?,
+            outputs: outputs.expect_usize("outputs")?,
+            ands: ands.expect_usize("ands")?,
+            fas: fa_list(fas, "fas")?,
+            original_fas: fa_list(original_fas, "original_fas")?,
+            saturation: SaturationStats::from_json(saturation)?,
+            pairing: PairStats::from_json(pairing)?,
+            pipeline_runtime: Duration::ZERO,
+        })
+    }
+}
+
 /// How a job ended.
 #[derive(Debug, Clone)]
 pub enum JobVerdict {
@@ -423,6 +465,110 @@ mod tests {
         assert!(GenSpec::parse("csa:1").is_err());
         assert!(GenSpec::parse("csa:4:optimized").is_err());
         assert!(GenSpec::parse("csa:4:mapped:extra").is_err());
+    }
+
+    fn arb_summary() -> impl proptest::Strategy<Value = ResultSummary> {
+        use egraph::StopReason;
+        use proptest::Strategy as _;
+        let fa = ((0u32..4096, 0u32..4096, 0u32..4096), 0u32..4096, 0u32..4096).prop_map(
+            |((a, b, c), sum, carry)| RecoveredFa {
+                inputs: [aig::Lit(a), aig::Lit(b), aig::Lit(c)],
+                sum: aig::Lit(sum),
+                carry: aig::Lit(carry),
+            },
+        );
+        let stop = || {
+            proptest::prop_oneof![
+                proptest::Just(StopReason::Saturated),
+                proptest::Just(StopReason::Cancelled),
+                (0usize..500).prop_map(StopReason::IterLimit),
+                (0usize..500_000).prop_map(StopReason::NodeLimit),
+            ]
+        };
+        (
+            (0usize..64, 0usize..64, 0usize..64, 0usize..4096),
+            proptest::collection::vec(fa, 0..5),
+            (stop(), stop()),
+            (0usize..10_000, 0usize..10_000, 0usize..100),
+            (0usize..1000, 0usize..1000, 0usize..1000),
+        )
+            .prop_map(
+                |((fa_count, inputs, outputs, ands), fas, (r1, r2), (n1, n2, iters), pair)| {
+                    ResultSummary {
+                        exact_fa_count: fa_count,
+                        inputs,
+                        outputs,
+                        ands,
+                        original_fas: fas.clone(),
+                        fas,
+                        saturation: SaturationStats {
+                            nodes_after_r1: n1,
+                            nodes_after_r2: n2,
+                            classes: n2 / 2,
+                            r1_stop: r1,
+                            r2_stop: r2,
+                            r1_iterations: iters,
+                            r2_iterations: iters,
+                            pruned: n1 / 3,
+                            search_time: Duration::ZERO,
+                            apply_time: Duration::ZERO,
+                            rebuild_time: Duration::ZERO,
+                            total_matches: n1 + n2,
+                        },
+                        pairing: PairStats {
+                            fa_inserted: pair.0,
+                            xor3_triples: pair.1,
+                            maj_triples: pair.2,
+                        },
+                        pipeline_runtime: Duration::ZERO,
+                    }
+                },
+            )
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// parse ∘ print = id on generated `ResultSummary` documents:
+        /// the canonical JSON survives a trip through `Json::parse` +
+        /// `FromJson` byte-for-byte.
+        #[test]
+        fn summary_canonical_json_round_trips(summary in arb_summary()) {
+            let doc = summary.to_json();
+            let text = doc.to_string();
+            let reparsed = Json::parse(&text).expect("canonical JSON must parse");
+            proptest::prop_assert_eq!(&reparsed, &doc);
+            let back = ResultSummary::from_json(&reparsed).expect("canonical doc must convert");
+            proptest::prop_assert_eq!(back.to_json().to_string(), text);
+        }
+    }
+
+    #[test]
+    fn summary_from_json_rejects_drift() {
+        let aig = aig::gen::csa_multiplier(3);
+        let result = boole::BoolE::new(BooleParams::small()).run(&aig);
+        let summary = ResultSummary::from(&result);
+        let doc = summary.to_json();
+        // The pristine document converts.
+        assert!(ResultSummary::from_json(&doc).is_ok());
+        // Dropping or adding any top-level field rejects the document.
+        let Json::Obj(pairs) = &doc else { panic!() };
+        for i in 0..pairs.len() {
+            let mut pruned = pairs.clone();
+            pruned.remove(i);
+            assert!(
+                ResultSummary::from_json(&Json::Obj(pruned)).is_err(),
+                "missing {:?} must be rejected",
+                pairs[i].0
+            );
+        }
+        let mut extended = pairs.clone();
+        extended.push(("future_field".to_owned(), Json::Null));
+        assert!(ResultSummary::from_json(&Json::Obj(extended)).is_err());
+        // Mistyped leaves are rejected too.
+        let mut mistyped = pairs.clone();
+        mistyped[0].1 = Json::str("three");
+        assert!(ResultSummary::from_json(&Json::Obj(mistyped)).is_err());
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //!   bounded job queue. [`Service::submit`] returns a [`JobHandle`]
 //!   for status polling, cooperative cancellation, and blocking waits.
 //! * [`fingerprint_aig`] — a canonical topological hash over an AIG's
-//!   gates and outputs; the [`ResultCache`] keyed on it answers
-//!   resubmitted/isomorphic netlists without a saturation run.
+//!   gates and outputs; the two-tier result cache keyed on it answers
+//!   resubmitted/isomorphic netlists without a saturation run. The
+//!   memory tier ([`ResultCache`]) evicts cost-aware (cheap-to-recompute
+//!   first); the optional disk tier ([`DiskStore`], enabled by
+//!   [`ServiceConfig`]'s `cache_dir`) persists results across process
+//!   lifetimes. Concurrent identical submissions are single-flighted:
+//!   one pipeline runs, the rest coalesce onto its result.
 //! * Per-job deadlines: a watchdog thread cancels a job's
 //!   [`CancelToken`](boole::CancelToken) when its deadline passes; the
 //!   runner observes it between rules, so runaway jobs die without
@@ -32,6 +37,7 @@ mod cache;
 mod fingerprint;
 mod job;
 mod service;
+mod store;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use fingerprint::{fingerprint_aig, fingerprint_params, Fingerprint};
@@ -40,3 +46,4 @@ pub use job::{
     ResultSummary,
 };
 pub use service::{run_spec_serial, JobHandle, Service, ServiceConfig, ServiceStats};
+pub use store::{DiskStats, DiskStore, STORE_FORMAT_VERSION};

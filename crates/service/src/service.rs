@@ -1,8 +1,10 @@
 //! The concurrent batch-reasoning engine: a std-only worker pool with a
 //! bounded queue, per-job deadlines enforced by a watchdog thread, and
-//! the structural-hash result cache.
+//! the two-tier (memory + disk) structural-hash result cache with
+//! single-flight deduplication.
 
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -11,10 +13,12 @@ use std::time::{Duration, Instant};
 
 use boole::json::{Json, ToJson};
 use boole::{BoolE, CancelToken, PhaseEvent};
+use egraph::hash::FxHashMap;
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::fingerprint::{fingerprint_aig, fingerprint_params};
 use crate::job::{JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict, ResultSummary};
+use crate::store::{DiskStats, DiskStore};
 
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
@@ -24,8 +28,15 @@ pub struct ServiceConfig {
     /// Bounded queue depth; [`Service::submit`] blocks, and
     /// [`Service::try_submit`] fails fast, once this many jobs wait.
     pub queue_capacity: usize,
-    /// Result-cache capacity in entries (0 disables caching globally).
+    /// In-memory result-cache capacity in entries. 0 disables the
+    /// memory tier (every lookup falls through); the disk tier and
+    /// single-flight deduplication still apply to cache-enabled jobs.
     pub cache_capacity: usize,
+    /// Directory for the persistent (disk) cache tier; `None` keeps
+    /// the cache memory-only. Results written here survive process
+    /// restarts and are shared by every service pointed at the same
+    /// directory.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +48,7 @@ impl Default for ServiceConfig {
             num_workers: parallelism.clamp(1, 4),
             queue_capacity: 64,
             cache_capacity: 256,
+            cache_dir: None,
         }
     }
 }
@@ -45,6 +57,12 @@ impl ServiceConfig {
     /// Sets the worker count.
     pub fn with_workers(mut self, n: usize) -> Self {
         self.num_workers = n.max(1);
+        self
+    }
+
+    /// Enables the persistent cache tier under `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 }
@@ -62,28 +80,48 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Pipelines actually executed (cache misses that ran saturation).
     pub pipelines_run: u64,
-    /// Cache counters.
+    /// Jobs answered by another job's in-flight pipeline (single-flight
+    /// deduplication) instead of running their own.
+    pub coalesced: u64,
+    /// In-memory cache counters.
     pub cache: CacheStats,
+    /// Disk-tier counters; `None` when no cache directory is
+    /// configured.
+    pub disk: Option<DiskStats>,
 }
 
 impl ToJson for ServiceStats {
     fn to_json(&self) -> Json {
+        let mut cache = vec![
+            ("hits".to_owned(), Json::Int(self.cache.hits as i64)),
+            ("misses".to_owned(), Json::Int(self.cache.misses as i64)),
+            (
+                "insertions".to_owned(),
+                Json::Int(self.cache.insertions as i64),
+            ),
+            (
+                "evictions".to_owned(),
+                Json::Int(self.cache.evictions as i64),
+            ),
+            ("entries".to_owned(), Json::from(self.cache.entries)),
+        ];
+        if let Some(disk) = &self.disk {
+            cache.push(("disk_hits".to_owned(), Json::Int(disk.hits as i64)));
+            cache.push(("disk_misses".to_owned(), Json::Int(disk.misses as i64)));
+            cache.push(("disk_writes".to_owned(), Json::Int(disk.writes as i64)));
+            cache.push((
+                "disk_write_errors".to_owned(),
+                Json::Int(disk.write_errors as i64),
+            ));
+        }
         Json::obj([
             ("submitted", Json::Int(self.submitted as i64)),
             ("completed", Json::Int(self.completed as i64)),
             ("cancelled", Json::Int(self.cancelled as i64)),
             ("failed", Json::Int(self.failed as i64)),
             ("pipelines_run", Json::Int(self.pipelines_run as i64)),
-            (
-                "cache",
-                Json::obj([
-                    ("hits", Json::Int(self.cache.hits as i64)),
-                    ("misses", Json::Int(self.cache.misses as i64)),
-                    ("insertions", Json::Int(self.cache.insertions as i64)),
-                    ("evictions", Json::Int(self.cache.evictions as i64)),
-                    ("entries", Json::from(self.cache.entries)),
-                ]),
-            ),
+            ("coalesced", Json::Int(self.coalesced as i64)),
+            ("cache", Json::Obj(cache)),
         ])
     }
 }
@@ -95,6 +133,7 @@ struct Counters {
     cancelled: AtomicU64,
     failed: AtomicU64,
     pipelines_run: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 struct JobCell {
@@ -245,8 +284,107 @@ struct WatchdogQueue {
 /// The worker-shared end of the bounded job queue.
 type JobQueue = Mutex<Receiver<(JobSpec, Arc<JobState>)>>;
 
+/// One pipeline execution other jobs with the same [`CacheKey`] can
+/// wait on instead of running their own (single-flight deduplication).
+///
+/// The slot distinguishes "still running" (`None`) from "leader
+/// published" (`Some(Some(summary))`) and "leader gave up without a
+/// result — cancelled, failed, or panicked" (`Some(None)`). Followers
+/// observing the last case loop back to the cache-or-lead decision, so
+/// a cancelled leader never strands the jobs queued behind it.
+struct InFlight {
+    slot: Mutex<Option<Option<Arc<ResultSummary>>>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Option<Arc<ResultSummary>>) {
+        *self.slot.lock().expect("flight poisoned") = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the leader publishes, polling `cancel` so a
+    /// follower with an expired deadline resolves as cancelled instead
+    /// of waiting out a slow leader.
+    fn wait(&self, cancel: &CancelToken) -> FlightWait {
+        let mut slot = self.slot.lock().expect("flight poisoned");
+        loop {
+            if let Some(published) = slot.as_ref() {
+                return match published {
+                    Some(summary) => FlightWait::Ready(Arc::clone(summary)),
+                    None => FlightWait::LeaderGone,
+                };
+            }
+            if cancel.is_cancelled() {
+                return FlightWait::Cancelled;
+            }
+            let (next, _) = self
+                .done
+                .wait_timeout(slot, Duration::from_millis(10))
+                .expect("flight poisoned");
+            slot = next;
+        }
+    }
+}
+
+enum FlightWait {
+    Ready(Arc<ResultSummary>),
+    LeaderGone,
+    Cancelled,
+}
+
+/// Removes the leader's flight entry and publishes on every exit path.
+/// The `Drop` arm is the panic/cancellation safety net: if the leader
+/// never reaches [`FlightGuard::complete`], waiting followers are
+/// released with "leader gone" rather than blocked forever.
+struct FlightGuard<'a> {
+    shared: &'a Shared,
+    key: CacheKey,
+    flight: Arc<InFlight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn complete(mut self, summary: Arc<ResultSummary>) {
+        self.retire(Some(summary));
+        self.completed = true;
+    }
+
+    fn retire(&self, result: Option<Arc<ResultSummary>>) {
+        // Remove-then-publish: a job arriving after the removal misses
+        // the flight and consults the cache, which the leader filled
+        // before calling complete().
+        self.shared
+            .flights
+            .lock()
+            .expect("flights poisoned")
+            .remove(&self.key);
+        self.flight.publish(result);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.retire(None);
+        }
+    }
+}
+
 struct Shared {
     cache: ResultCache,
+    /// Disk tier; `None` when no cache directory is configured.
+    store: Option<DiskStore>,
+    /// Keys with a pipeline currently executing, for single-flight
+    /// deduplication of concurrent identical submissions.
+    flights: Mutex<FxHashMap<CacheKey, Arc<InFlight>>>,
     counters: Counters,
     watchdog: Mutex<WatchdogQueue>,
     watchdog_wake: Condvar,
@@ -272,10 +410,24 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool and watchdog.
+    /// Starts the worker pool and watchdog. If a configured cache
+    /// directory cannot be created the disk tier is disabled with a
+    /// warning — a broken cache disk must not take the service down.
     pub fn new(config: ServiceConfig) -> Self {
+        let store = config.cache_dir.as_ref().and_then(|dir| {
+            DiskStore::open(dir)
+                .map_err(|err| {
+                    eprintln!(
+                        "warning: cannot open cache dir {}: {err}; persistent cache disabled",
+                        dir.display()
+                    );
+                })
+                .ok()
+        });
         let shared = Arc::new(Shared {
             cache: ResultCache::new(config.cache_capacity),
+            store,
+            flights: Mutex::new(FxHashMap::default()),
             counters: Counters::default(),
             watchdog: Mutex::new(WatchdogQueue::default()),
             watchdog_wake: Condvar::new(),
@@ -396,7 +548,9 @@ impl Service {
             cancelled: c.cancelled.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             pipelines_run: c.pipelines_run.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
+            disk: self.shared.store.as_ref().map(DiskStore::stats),
         }
     }
 
@@ -515,9 +669,36 @@ fn load_netlist(source: &JobSource) -> Result<aig::Aig, String> {
     }
 }
 
-/// Runs one job to a terminal outcome. With `shared`, the result cache
-/// is consulted/populated and pipeline counters maintained; without it
-/// (the standalone serial path) the pipeline always runs.
+/// A worker's role for one cache key, decided under the flights lock:
+/// either it runs the pipeline (and owns the flight entry via the
+/// guard), or it waits on whoever does.
+enum FlightRole<'a> {
+    Leader(FlightGuard<'a>),
+    Follower(Arc<InFlight>),
+}
+
+fn join_or_lead<'a>(shared: &'a Shared, key: CacheKey) -> FlightRole<'a> {
+    let mut flights = shared.flights.lock().expect("flights poisoned");
+    match flights.get(&key) {
+        Some(flight) => FlightRole::Follower(Arc::clone(flight)),
+        None => {
+            let flight = Arc::new(InFlight::new());
+            flights.insert(key, Arc::clone(&flight));
+            FlightRole::Leader(FlightGuard {
+                shared,
+                key,
+                flight,
+                completed: false,
+            })
+        }
+    }
+}
+
+/// Runs one job to a terminal outcome. With `shared`, the two-tier
+/// result cache is consulted/populated, concurrent identical
+/// submissions are deduplicated to one pipeline run, and pipeline
+/// counters are maintained; without it (the standalone serial path)
+/// the pipeline always runs.
 fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -> Arc<JobOutcome> {
     if state.cancel.is_cancelled() {
         return state.finalize(JobVerdict::Cancelled { phase: None }, false);
@@ -531,13 +712,55 @@ fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -
         netlist: fingerprint_aig(&netlist),
         params: fingerprint_params(&spec.params),
     };
-    if spec.use_cache {
-        if let Some(shared) = shared {
-            if let Some(summary) = shared.cache.get(&cache_key) {
-                return state.finalize(JobVerdict::Completed(summary), true);
+    // The cached path. Key ordering invariant: cache lookups happen
+    // only while *holding* the key's flight entry, and a completing
+    // leader fills both cache tiers before retiring its entry — so a
+    // job that acquires leadership after a previous leader finished is
+    // guaranteed to see that leader's result in the cache. This is
+    // what makes "N concurrent identical submissions run saturation
+    // exactly once" airtight rather than probabilistic: without it, a
+    // job could miss the cache, find the flight table empty, and
+    // re-run a pipeline that completed in between.
+    //
+    // The loop re-enters when a leader gives up without publishing
+    // (cancelled/failed/panicked) — some waiting job then becomes the
+    // new leader, so one doomed leader never strands the rest.
+    let guard = if let Some(shared) = shared.filter(|_| spec.use_cache) {
+        loop {
+            if state.cancel.is_cancelled() {
+                return state.finalize(JobVerdict::Cancelled { phase: None }, false);
+            }
+            match join_or_lead(shared, cache_key) {
+                FlightRole::Leader(guard) => {
+                    if let Some(summary) = shared.cache.get(&cache_key) {
+                        // Guard drop retires the (useless) flight.
+                        return state.finalize(JobVerdict::Completed(summary), true);
+                    }
+                    if let Some(store) = &shared.store {
+                        if let Some(summary) = store.get(&cache_key) {
+                            // Promote to the memory tier so the next
+                            // hit skips the disk read and JSON parse.
+                            shared.cache.insert(cache_key, Arc::clone(&summary));
+                            return state.finalize(JobVerdict::Completed(summary), true);
+                        }
+                    }
+                    break Some(guard);
+                }
+                FlightRole::Follower(flight) => match flight.wait(&state.cancel) {
+                    FlightWait::Ready(summary) => {
+                        shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return state.finalize(JobVerdict::Completed(summary), true);
+                    }
+                    FlightWait::Cancelled => {
+                        return state.finalize(JobVerdict::Cancelled { phase: None }, false);
+                    }
+                    FlightWait::LeaderGone => continue,
+                },
             }
         }
-    }
+    } else {
+        None
+    };
     if let Some(shared) = shared {
         shared
             .counters
@@ -553,19 +776,30 @@ fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -
     match engine.try_run(&netlist) {
         Ok(result) => {
             let summary = Arc::new(ResultSummary::from(&result));
-            if spec.use_cache {
-                if let Some(shared) = shared {
-                    shared.cache.insert(cache_key, Arc::clone(&summary));
+            if let Some(shared) = shared.filter(|_| spec.use_cache) {
+                shared.cache.insert(cache_key, Arc::clone(&summary));
+                if let Some(store) = &shared.store {
+                    store.put(&cache_key, &summary);
                 }
+            }
+            // Both tiers are populated before followers wake (and
+            // before late arrivals can miss the flight), so a released
+            // follower finds either the flight result or a cache hit.
+            if let Some(guard) = guard {
+                guard.complete(Arc::clone(&summary));
             }
             state.finalize(JobVerdict::Completed(summary), false)
         }
-        Err(cancelled) => state.finalize(
-            JobVerdict::Cancelled {
-                phase: Some(cancelled.phase),
-            },
-            false,
-        ),
+        Err(cancelled) => {
+            // `guard` drops here (if leading): followers are released
+            // with "leader gone" and elect a new leader.
+            state.finalize(
+                JobVerdict::Cancelled {
+                    phase: Some(cancelled.phase),
+                },
+                false,
+            )
+        }
     }
 }
 

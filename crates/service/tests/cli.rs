@@ -153,6 +153,59 @@ fn batch_mixes_formats_in_one_directory() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[cfg(unix)]
+#[test]
+fn batch_terminates_on_symlink_cycles_and_counts_each_circuit_once() {
+    let dir = std::env::temp_dir().join(format!("boole-cli-cycle-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(dir.join("sub")).unwrap();
+    let circuit = aig::gen::csa_multiplier(3);
+    aig::write_netlist(dir.join("top.aag"), &circuit).unwrap();
+    aig::write_netlist(dir.join("sub/nested.aag"), &circuit).unwrap();
+    // Pre-fix, the cycle made `boole batch` walk forever and the alias
+    // double-counted nested.aag.
+    std::os::unix::fs::symlink("..", dir.join("sub/loop")).unwrap();
+    std::os::unix::fs::symlink(dir.join("sub"), dir.join("alias")).unwrap();
+
+    let output = boole()
+        .arg("batch")
+        .arg(&dir)
+        .args(["--params", "small", "--compact"])
+        .output()
+        .expect("spawn boole");
+    assert!(
+        output.status.success(),
+        "cyclic batch failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        stdout.matches("\"status\":\"completed\"").count(),
+        2,
+        "each netlist exactly once: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_accepts_specs_interleaved_with_options() {
+    // Regression: `boole gen csa:3 --workers 2 wallace:3` used to
+    // reject `wallace:3` as an unknown option.
+    let output = boole()
+        .args(["gen", "csa:3", "--workers", "2", "wallace:3"])
+        .args(["--params", "small", "--compact"])
+        .output()
+        .expect("spawn boole");
+    assert!(
+        output.status.success(),
+        "interleaved gen failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(stdout.matches("\"status\":\"completed\"").count(), 2);
+    assert!(stdout.contains("csa:3") && stdout.contains("wallace:3"));
+}
+
 #[test]
 fn unparseable_netlists_exit_nonzero_with_json_error() {
     let dir = std::env::temp_dir().join(format!("boole-cli-bad-{}", std::process::id()));

@@ -32,6 +32,7 @@ fn cross_format_submissions_share_one_cache_entry() {
         num_workers: 1,
         queue_capacity: 8,
         cache_capacity: 8,
+        cache_dir: None,
     });
     let spec = |path: &PathBuf| JobSpec::file(path).with_params(BooleParams::small());
 

@@ -38,6 +38,7 @@ fn four_worker_batch_matches_serial_byte_for_byte() {
         num_workers: 4,
         queue_capacity: 16,
         cache_capacity: 64,
+        cache_dir: None,
     });
     let concurrent = service.run_batch(mixed_specs());
     let stats = service.shutdown();
@@ -77,6 +78,7 @@ fn duplicate_netlists_serialize_identically_across_modes() {
         num_workers: 2,
         queue_capacity: 4,
         cache_capacity: 4,
+        cache_dir: None,
     });
     let concurrent = service.run_batch(specs());
     service.shutdown();
@@ -104,6 +106,7 @@ fn resubmitted_netlist_is_answered_from_cache_without_saturation() {
         num_workers: 2,
         queue_capacity: 8,
         cache_capacity: 8,
+        cache_dir: None,
     });
     let spec =
         || JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small());
@@ -147,11 +150,80 @@ fn resubmitted_netlist_is_answered_from_cache_without_saturation() {
 }
 
 #[test]
+fn cold_cache_stampede_runs_saturation_exactly_once() {
+    // Six identical jobs hit a cold cache on four workers: the
+    // single-flight table must coalesce them onto one pipeline run.
+    // Pre-dedup, each worker that dequeued before the first finished
+    // ran its own saturation (pipelines_run == min(N, workers)).
+    let service = Service::new(ServiceConfig {
+        num_workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        cache_dir: None,
+    });
+    let specs: Vec<JobSpec> = (0..6)
+        .map(|_| {
+            JobSpec::generated(GenSpec::parse("csa:4").unwrap())
+                .with_params(BooleParams::small().without_time_limit())
+        })
+        .collect();
+    let outcomes = service.run_batch(specs);
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(
+        stats.pipelines_run, 1,
+        "identical concurrent submissions must run saturation once: {stats:?}"
+    );
+    // Every non-leader was answered either by the in-flight pipeline
+    // (coalesced) or, if it started after the leader finished, by the
+    // cache it filled.
+    assert_eq!(stats.coalesced + stats.cache.hits, 5, "{stats:?}");
+    // And all six payloads are the same bytes.
+    let first = outcomes[0].summary().unwrap().to_json().to_string();
+    for outcome in &outcomes {
+        assert_eq!(outcome.summary().unwrap().to_json().to_string(), first);
+    }
+}
+
+#[test]
+fn cancelled_leader_does_not_strand_coalesced_followers() {
+    // The leader gets a deadline short enough to cancel mid-saturation;
+    // the followers (no deadline) must elect a new leader and finish,
+    // not wait forever or inherit the cancellation.
+    let service = Service::new(ServiceConfig {
+        num_workers: 3,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        cache_dir: None,
+    });
+    let spec = || {
+        JobSpec::generated(GenSpec::parse("csa:5").unwrap())
+            .with_params(BooleParams::small().without_time_limit())
+    };
+    let doomed = service.submit(spec().with_deadline(Duration::from_millis(30)));
+    let followers: Vec<_> = (0..2).map(|_| service.submit(spec())).collect();
+    // Whatever happens to the doomed leader (it may even complete if
+    // the machine is fast), every follower must reach a completed
+    // result.
+    doomed.wait();
+    for follower in &followers {
+        let outcome = follower.wait();
+        assert!(
+            outcome.summary().is_some(),
+            "follower must complete after leader cancellation, got {:?}",
+            outcome.status()
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
 fn one_ms_deadline_cancels_cooperatively_without_poisoning_the_pool() {
     let service = Service::new(ServiceConfig {
         num_workers: 2,
         queue_capacity: 8,
         cache_capacity: 8,
+        cache_dir: None,
     });
     // csa:8 saturates for many seconds under default params; a 1 ms
     // deadline must kill it long before that.
@@ -185,6 +257,7 @@ fn explicit_cancel_stops_a_large_job_mid_saturation() {
         num_workers: 1,
         queue_capacity: 4,
         cache_capacity: 4,
+        cache_dir: None,
     });
     // Give the job a huge budget so only cancellation can stop it soon.
     let params = BooleParams {
@@ -233,6 +306,7 @@ fn queued_jobs_cancel_before_running() {
         num_workers: 1,
         queue_capacity: 8,
         cache_capacity: 8,
+        cache_dir: None,
     });
     let blocker = service.submit(
         JobSpec::generated(GenSpec::parse("csa:6").unwrap()).with_params(BooleParams::default()),
@@ -257,6 +331,7 @@ fn failed_sources_are_reported_not_panicked() {
         num_workers: 1,
         queue_capacity: 4,
         cache_capacity: 4,
+        cache_dir: None,
     });
     let missing = service.submit(JobSpec::aag_file("/nonexistent/never.aag"));
     let outcome = missing.wait();
