@@ -113,6 +113,38 @@ fn record_json(r: &RunRecord) -> Json {
     ])
 }
 
+/// Aggregates per-rule saturation profiles across the whole corpus and
+/// returns the top rules by total search time: the ranking answers
+/// "which rewrite is the engine spending its matcher budget on", which
+/// is where a scheduler or rule-set change shows up first.
+fn top_rules_json(records: &[RunRecord], top_k: usize) -> Json {
+    let mut agg: std::collections::BTreeMap<&str, (std::time::Duration, usize, usize)> =
+        std::collections::BTreeMap::new();
+    for record in records {
+        for rule in &record.stats.rules {
+            let entry = agg.entry(rule.name.as_str()).or_default();
+            entry.0 += rule.search_time;
+            entry.1 += rule.matches;
+            entry.2 += rule.applications;
+        }
+    }
+    let mut rows: Vec<_> = agg.into_iter().collect();
+    // Sort by search time descending, name-tiebroken for stable output.
+    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+    Json::arr(
+        rows.into_iter()
+            .take(top_k)
+            .map(|(name, (search, matches, applications))| {
+                Json::obj([
+                    ("rule", Json::str(name)),
+                    ("search_ms", Json::from(ms(search))),
+                    ("matches", Json::from(matches)),
+                    ("applications", Json::from(applications)),
+                ])
+            }),
+    )
+}
+
 fn main() {
     let smoke = boole_bench::arg_flag("--smoke");
     let args: Vec<String> = std::env::args().collect();
@@ -208,6 +240,7 @@ fn main() {
                 ("rebuild_ms", Json::from(rebuild_total)),
             ]),
         ),
+        ("top_rules", top_rules_json(&records, 10)),
         ("runs", Json::arr(records.iter().map(record_json))),
     ]);
     let text = doc.pretty();

@@ -79,6 +79,7 @@ fn main() {
             queue_capacity: jobs.max(1),
             cache_capacity: jobs.max(1),
             cache_dir: None,
+            telemetry: None,
         });
         let pool_start = Instant::now();
         let outcomes = service.run_batch(workload(jobs));

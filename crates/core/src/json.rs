@@ -3,7 +3,7 @@
 //!
 //! The workspace is dependency-free by design, so results are
 //! serialized through a tiny document model: build a [`Json`] value,
-//! then render it with [`Json::to_string`] (compact) or
+//! then render it with its `Display` impl (compact) or
 //! [`Json::pretty`] (indented). Object keys keep insertion order, so
 //! output is byte-stable across runs — the service's batch mode relies
 //! on that to compare concurrent and serial results.
@@ -678,6 +678,8 @@ impl FromJson for SaturationStats {
             apply_time: Duration::ZERO,
             rebuild_time: Duration::ZERO,
             total_matches: total_matches.expect_usize("total_matches")?,
+            // Per-rule profiles are struct-only like the phase times.
+            rules: Vec::new(),
         };
         let claimed = cancelled
             .as_bool()
@@ -1097,6 +1099,7 @@ mod tests {
                     apply_time: Duration::ZERO,
                     rebuild_time: Duration::ZERO,
                     total_matches: matches,
+                    rules: Vec::new(),
                 }
             })
     }

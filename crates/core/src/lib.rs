@@ -33,6 +33,7 @@ pub mod pipeline;
 pub mod reconstruct;
 pub mod rules;
 pub mod saturate;
+pub mod telemetry;
 
 pub use convert::{aig_to_egraph, NetlistEGraph};
 pub use egraph::CancelToken;
@@ -44,4 +45,9 @@ pub use pipeline::{
     BoolE, BooleParams, BooleResult, Cancelled, Phase, PhaseCallback, PhaseEvent, RecoveredFa,
 };
 pub use reconstruct::reconstruct_aig;
-pub use saturate::{saturate, SaturateParams, SaturationStats};
+pub use saturate::{
+    saturate, saturate_observed, IterationObserver, RuleSummary, SaturateParams, SaturationStats,
+};
+pub use telemetry::{
+    CacheTier, EventBus, EventKind, MetricsRegistry, Telemetry, TelemetryEvent, TelemetrySink,
+};

@@ -15,7 +15,7 @@ use crate::extract::extract_dag;
 use crate::pair::{pair_full_adders, PairStats};
 use crate::reconstruct::reconstruct_aig;
 pub use crate::reconstruct::RecoveredFa;
-use crate::saturate::{saturate, SaturateParams, SaturationStats};
+use crate::saturate::{SaturateParams, SaturationStats};
 
 /// A stage of the BoolE pipeline, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,6 +72,21 @@ pub enum PhaseEvent {
         phase: Phase,
         /// Wall-clock time the phase took.
         elapsed: Duration,
+    },
+    /// One saturation iteration completed (emitted between the
+    /// [`Phase::Saturate`] `Started`/`Finished` pair — fine-grained
+    /// progress for the longest phase).
+    Iteration {
+        /// Which ruleset phase is running (`"r1"` or `"r2"`).
+        ruleset: &'static str,
+        /// Zero-based iteration index within the ruleset phase.
+        index: usize,
+        /// E-nodes after the iteration.
+        nodes: usize,
+        /// E-classes after the iteration.
+        classes: usize,
+        /// Substitutions found this iteration (post-scheduling).
+        matches: usize,
     },
 }
 
@@ -277,8 +292,26 @@ impl BoolE {
     fn run_pipeline(&self, netlist: &Aig, cancel: &CancelToken) -> Result<BooleResult, Cancelled> {
         let start = Instant::now();
         let net = self.phase(Phase::Convert, cancel, || aig_to_egraph(netlist))?;
+        // Forward per-iteration progress through the phase callback, so
+        // observers see saturation advance inside its Started/Finished
+        // bracket. The observer is passive: attaching it cannot change
+        // the run.
+        let observer: Option<crate::saturate::IterationObserver> =
+            self.on_phase.clone().map(|cb| {
+                Arc::new(
+                    move |ruleset: &'static str, index: usize, it: &egraph::Iteration| {
+                        cb(&PhaseEvent::Iteration {
+                            ruleset,
+                            index,
+                            nodes: it.egraph_nodes,
+                            classes: it.egraph_classes,
+                            matches: it.total_matches,
+                        });
+                    },
+                ) as crate::saturate::IterationObserver
+            });
         let (mut net, saturation) = self.phase(Phase::Saturate, cancel, || {
-            saturate(net, &self.params.saturate)
+            crate::saturate::saturate_observed(net, &self.params.saturate, observer)
         })?;
         // Saturation checks the params token internally; a strict run
         // that was cancelled mid-phase must not proceed to extraction.
@@ -406,6 +439,9 @@ mod tests {
             let tag = match e {
                 PhaseEvent::Started(p) => format!("start:{p}"),
                 PhaseEvent::Finished { phase, .. } => format!("end:{phase}"),
+                // Iteration events interleave inside the saturate
+                // bracket; this test checks the coarse structure only.
+                PhaseEvent::Iteration { .. } => return,
             };
             sink.lock().unwrap().push(tag);
         }));
@@ -417,6 +453,40 @@ mod tests {
             .flat_map(|p| [format!("start:{p}"), format!("end:{p}")])
             .collect();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn iteration_events_arrive_inside_the_saturate_bracket() {
+        use std::sync::Mutex;
+        let events: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let engine = BoolE::new(BooleParams::small()).with_phase_callback(Arc::new(move |e| {
+            let tag = match e {
+                PhaseEvent::Started(p) => format!("start:{p}"),
+                PhaseEvent::Finished { phase, .. } => format!("end:{phase}"),
+                PhaseEvent::Iteration { ruleset, index, .. } => format!("iter:{ruleset}:{index}"),
+            };
+            sink.lock().unwrap().push(tag);
+        }));
+        engine.try_run(&csa_multiplier(3)).unwrap();
+        let seen = events.lock().unwrap().clone();
+        let start = seen.iter().position(|t| t == "start:saturate").unwrap();
+        let end = seen.iter().position(|t| t == "end:saturate").unwrap();
+        let iters: Vec<usize> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.starts_with("iter:"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!iters.is_empty(), "saturation must report iterations");
+        assert!(
+            iters.iter().all(|&i| start < i && i < end),
+            "iteration events must nest inside the saturate bracket: {seen:?}"
+        );
+        assert!(
+            seen.iter().any(|t| t.starts_with("iter:r1:")),
+            "r1 iterations expected: {seen:?}"
+        );
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Two-phase incremental saturation (Section IV-A2) plus redundant
 //! e-node pruning.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use egraph::hash::FxHashSet;
-use egraph::{BackoffScheduler, CancelToken, EGraph, Id, Language, Runner, StopReason};
+use egraph::hash::{FxHashMap, FxHashSet};
+use egraph::{
+    BackoffScheduler, CancelToken, EGraph, Id, Iteration, Language, RuleProfile, Runner,
+    StopReason, Symbol,
+};
 
 use crate::convert::NetlistEGraph;
 use crate::rules;
@@ -116,7 +120,31 @@ pub struct SaturationStats {
     pub rebuild_time: Duration,
     /// Total substitutions found by the searchers across both phases.
     pub total_matches: usize,
+    /// Per-rule accounting merged across both phases, sorted by rule
+    /// name. Struct-only, like the wall-clock fields above: excluded
+    /// from the canonical JSON document (per-rule timings are
+    /// machine-dependent) and restored empty by `FromJson`.
+    pub rules: Vec<RuleSummary>,
 }
+
+/// Per-rule totals from one saturation run (both phases merged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSummary {
+    /// The rule's name.
+    pub name: String,
+    /// Wall-clock time spent searching this rule.
+    pub search_time: Duration,
+    /// Substitutions the searcher yielded (post-scheduling).
+    pub matches: usize,
+    /// Applications that changed the e-graph.
+    pub applications: usize,
+}
+
+/// Observer invoked after each completed saturation iteration with the
+/// ruleset phase name (`"r1"` or `"r2"`), the zero-based iteration
+/// index within that phase, and the iteration's statistics. Must be
+/// `Send + Sync`: the service calls saturation from worker threads.
+pub type IterationObserver = Arc<dyn Fn(&'static str, usize, &Iteration) + Send + Sync>;
 
 impl SaturationStats {
     /// Returns `true` if either phase was stopped by cooperative
@@ -131,6 +159,18 @@ impl SaturationStats {
 /// identifies XOR/MAJ structures on top of it; finally, redundant
 /// commuted duplicates are pruned (Section IV-A2, optimizations 1–3).
 pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, SaturationStats) {
+    saturate_observed(net, params, None)
+}
+
+/// [`saturate`] with an optional per-iteration observer — the hook
+/// telemetry event streams attach to. Passing `None` is exactly
+/// [`saturate`]; the observer cannot influence the run, so attaching
+/// one never changes the resulting e-graph or statistics.
+pub fn saturate_observed(
+    net: NetlistEGraph,
+    params: &SaturateParams,
+    observer: Option<IterationObserver>,
+) -> (NetlistEGraph, SaturationStats) {
     let r1 = if params.lightweight {
         rules::r1_lightweight_rules()
     } else {
@@ -142,14 +182,17 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
     let r1_node_limit = ((initial_nodes as f64 * params.r1_growth) as usize)
         .max(2_000)
         .min(params.node_limit);
-    let runner1 = Runner::new(())
+    let mut runner1 = Runner::new(())
         .with_egraph(net.egraph)
         .with_iter_limit(params.r1_iters)
         .with_node_limit(r1_node_limit)
         .with_time_limit(params.time_limit / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
-        .with_cancel_token(params.cancel.clone())
-        .run(&r1);
+        .with_cancel_token(params.cancel.clone());
+    if let Some(obs) = observer.clone() {
+        runner1 = runner1.with_iteration_hook(move |i, it| obs("r1", i, it));
+    }
+    let runner1 = runner1.run(&r1);
     let nodes_after_r1 = runner1.egraph.total_number_of_nodes();
     let r1_stop = runner1.stop_reason.clone().expect("phase 1 ran");
     let r1_iterations = runner1.iterations.len();
@@ -167,15 +210,19 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
     };
     accumulate(&runner1.iterations);
 
-    let runner2 = Runner::new(())
+    let mut runner2 = Runner::new(())
         .with_egraph(runner1.egraph)
         .with_iter_limit(params.r2_iters)
         .with_node_limit(params.node_limit)
         .with_time_limit(params.time_limit * 3 / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
-        .with_cancel_token(params.cancel.clone())
-        .run(&r2);
+        .with_cancel_token(params.cancel.clone());
+    if let Some(obs) = observer {
+        runner2 = runner2.with_iteration_hook(move |i, it| obs("r2", i, it));
+    }
+    let runner2 = runner2.run(&r2);
     accumulate(&runner2.iterations);
+    let rules = merge_rule_profiles(&runner1.rule_profiles, &runner2.rule_profiles);
     let mut egraph = runner2.egraph;
     let nodes_after_r2 = egraph.total_number_of_nodes();
     let r2_stop = runner2.stop_reason.clone().expect("phase 2 ran");
@@ -200,6 +247,7 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
         apply_time,
         rebuild_time,
         total_matches,
+        rules,
     };
     (
         NetlistEGraph {
@@ -210,6 +258,29 @@ pub fn saturate(net: NetlistEGraph, params: &SaturateParams) -> (NetlistEGraph, 
         },
         stats,
     )
+}
+
+/// Merges the two phases' per-rule profiles into one name-sorted list
+/// (rules shared by both rulesets — there are none today — would sum).
+fn merge_rule_profiles(
+    r1: &FxHashMap<Symbol, RuleProfile>,
+    r2: &FxHashMap<Symbol, RuleProfile>,
+) -> Vec<RuleSummary> {
+    let mut merged: FxHashMap<Symbol, RuleProfile> = r1.clone();
+    for (name, profile) in r2 {
+        merged.entry(*name).or_default().merge(profile);
+    }
+    let mut rules: Vec<RuleSummary> = merged
+        .into_iter()
+        .map(|(name, p)| RuleSummary {
+            name: name.as_str().to_owned(),
+            search_time: p.search_time,
+            matches: p.matches,
+            applications: p.applications,
+        })
+        .collect();
+    rules.sort_by(|a, b| a.name.cmp(&b.name));
+    rules
 }
 
 /// Deletes commuted duplicates of symmetric operators: within each

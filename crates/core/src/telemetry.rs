@@ -1,0 +1,822 @@
+//! Out-of-band observability: a bounded structured event bus and a
+//! metrics registry, both snapshotable through the strict
+//! [`crate::json`] layer.
+//!
+//! Everything in this module is *strictly out-of-band*: publishing an
+//! event or bumping a metric never blocks a worker (a full event ring
+//! drops the event and counts the drop), and nothing here feeds back
+//! into canonical result documents — the byte-identity guarantees of
+//! the pipeline and service layers are untouched whether telemetry is
+//! attached or not.
+//!
+//! # Event stream contract
+//!
+//! Every published event gets a monotonically increasing sequence
+//! number and a timestamp (microseconds since the bus was created).
+//! When the bounded ring is full, incoming events are *dropped but
+//! still consume a sequence number*; the next successful publish (or
+//! the next drain) first emits an explicit [`EventKind::Dropped`]
+//! marker whose `count` equals the number of burned sequence numbers.
+//! Consumers can therefore verify losslessness: consecutive received
+//! events have gapless sequence numbers, except immediately before a
+//! `dropped` marker, where the gap size equals the marker's count.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Default bound of the event ring (events held between drains).
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Which cache tier answered (or failed to answer) a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory result-cache tier.
+    Memory,
+    /// The persistent disk tier.
+    Disk,
+}
+
+impl CacheTier {
+    /// Stable lowercase name used in event payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+        }
+    }
+}
+
+/// The typed payload of a [`TelemetryEvent`].
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A job entered the service queue (or the serial runner's list).
+    JobSubmitted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Human-readable job label (usually the netlist path or spec).
+        label: String,
+    },
+    /// A worker picked the job up and began executing it.
+    JobStarted {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// A pipeline phase is about to run.
+    PhaseStarted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Stable phase name (`convert`, `saturate`, …).
+        phase: &'static str,
+    },
+    /// A pipeline phase completed.
+    PhaseFinished {
+        /// Service-assigned job id.
+        job: u64,
+        /// Stable phase name.
+        phase: &'static str,
+        /// Wall-clock time the phase took.
+        elapsed: Duration,
+    },
+    /// One saturation iteration completed.
+    Iteration {
+        /// Service-assigned job id.
+        job: u64,
+        /// Which ruleset phase is running (`r1` or `r2`).
+        ruleset: &'static str,
+        /// Zero-based iteration index within the ruleset phase.
+        index: usize,
+        /// E-nodes after the iteration.
+        nodes: usize,
+        /// E-classes after the iteration.
+        classes: usize,
+        /// Substitutions found this iteration (post-scheduling).
+        matches: usize,
+    },
+    /// A cache tier answered a lookup.
+    CacheHit {
+        /// Service-assigned job id.
+        job: u64,
+        /// Which tier hit.
+        tier: CacheTier,
+    },
+    /// A cache tier had no usable record.
+    CacheMiss {
+        /// Service-assigned job id.
+        job: u64,
+        /// Which tier missed.
+        tier: CacheTier,
+    },
+    /// The in-memory cache evicted an entry to make room.
+    CacheEvicted {
+        /// Entries evicted in this insertion's eviction pass.
+        entries: u64,
+    },
+    /// A persistent-cache write failed (disk full, permissions, …).
+    DiskWriteError {
+        /// The I/O error, rendered.
+        message: String,
+    },
+    /// A job reached a terminal state. Emitted exactly once per job,
+    /// whatever the outcome (completed, failed, cancelled, panicked).
+    JobDone {
+        /// Service-assigned job id.
+        job: u64,
+        /// Terminal status name (`completed`, `failed`, `cancelled`).
+        status: String,
+        /// Whether the result was served from a cache tier.
+        from_cache: bool,
+    },
+    /// Marker standing in for `count` events dropped under
+    /// backpressure. The dropped events' sequence numbers are the
+    /// `count` numbers immediately preceding this marker's.
+    Dropped {
+        /// How many events were dropped.
+        count: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case event name (the `"event"` field in NDJSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::JobSubmitted { .. } => "job_submitted",
+            EventKind::JobStarted { .. } => "job_started",
+            EventKind::PhaseStarted { .. } => "phase_started",
+            EventKind::PhaseFinished { .. } => "phase_finished",
+            EventKind::Iteration { .. } => "iteration",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheEvicted { .. } => "cache_evicted",
+            EventKind::DiskWriteError { .. } => "disk_write_error",
+            EventKind::JobDone { .. } => "job_done",
+            EventKind::Dropped { .. } => "dropped",
+        }
+    }
+}
+
+/// One event on the bus: a sequence number, a timestamp, and a typed
+/// payload.
+#[derive(Debug, Clone)]
+pub struct TelemetryEvent {
+    /// Monotonic sequence number (gapless except across explicit
+    /// [`EventKind::Dropped`] markers).
+    pub seq: u64,
+    /// Microseconds since the bus was created.
+    pub ts_us: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl TelemetryEvent {
+    /// Renders the event as one flat JSON object (an NDJSON line once
+    /// compact-printed). Every document this produces survives the
+    /// strict [`Json::parse`] round trip.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("seq".into(), Json::Int(self.seq as i64)),
+            ("ts_us".into(), Json::Int(self.ts_us as i64)),
+            ("event".into(), Json::str(self.kind.name())),
+        ];
+        let mut push = |k: &str, v: Json| fields.push((k.to_owned(), v));
+        match &self.kind {
+            EventKind::JobSubmitted { job, label } => {
+                push("job", Json::Int(*job as i64));
+                push("label", Json::str(label.clone()));
+            }
+            EventKind::JobStarted { job } => push("job", Json::Int(*job as i64)),
+            EventKind::PhaseStarted { job, phase } => {
+                push("job", Json::Int(*job as i64));
+                push("phase", Json::str(*phase));
+            }
+            EventKind::PhaseFinished {
+                job,
+                phase,
+                elapsed,
+            } => {
+                push("job", Json::Int(*job as i64));
+                push("phase", Json::str(*phase));
+                push(
+                    "elapsed_us",
+                    Json::Int(i64::try_from(elapsed.as_micros()).unwrap_or(i64::MAX)),
+                );
+            }
+            EventKind::Iteration {
+                job,
+                ruleset,
+                index,
+                nodes,
+                classes,
+                matches,
+            } => {
+                push("job", Json::Int(*job as i64));
+                push("ruleset", Json::str(*ruleset));
+                push("index", Json::Int(*index as i64));
+                push("nodes", Json::Int(*nodes as i64));
+                push("classes", Json::Int(*classes as i64));
+                push("matches", Json::Int(*matches as i64));
+            }
+            EventKind::CacheHit { job, tier } => {
+                push("job", Json::Int(*job as i64));
+                push("tier", Json::str(tier.name()));
+            }
+            EventKind::CacheMiss { job, tier } => {
+                push("job", Json::Int(*job as i64));
+                push("tier", Json::str(tier.name()));
+            }
+            EventKind::CacheEvicted { entries } => push("entries", Json::Int(*entries as i64)),
+            EventKind::DiskWriteError { message } => push("message", Json::str(message.clone())),
+            EventKind::JobDone {
+                job,
+                status,
+                from_cache,
+            } => {
+                push("job", Json::Int(*job as i64));
+                push("status", Json::str(status.clone()));
+                push("from_cache", Json::Bool(*from_cache));
+            }
+            EventKind::Dropped { count } => push("count", Json::Int(*count as i64)),
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[derive(Debug)]
+struct BusState {
+    queue: VecDeque<TelemetryEvent>,
+    next_seq: u64,
+    /// Events dropped since the last emitted `Dropped` marker; their
+    /// sequence numbers are already burned.
+    dropped_pending: u64,
+    closed: bool,
+}
+
+/// A bounded multi-producer event ring.
+///
+/// Publishing never blocks: when the ring is full the event is dropped
+/// (and accounted — see the module docs for the marker protocol).
+/// Consumers call [`EventBus::drain`] (non-blocking) or
+/// [`EventBus::wait`] (parks until events arrive or the bus closes).
+#[derive(Debug)]
+pub struct EventBus {
+    capacity: usize,
+    epoch: Instant,
+    state: Mutex<BusState>,
+    available: Condvar,
+    dropped_total: AtomicU64,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventBus {
+    /// Creates a bus holding at most `capacity` undrained events.
+    pub fn with_capacity(capacity: usize) -> EventBus {
+        EventBus {
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            state: Mutex::new(BusState {
+                queue: VecDeque::new(),
+                next_seq: 0,
+                dropped_pending: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            dropped_total: AtomicU64::new(0),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Publishes an event. Never blocks; a full ring drops the event
+    /// (burning its sequence number) and a closed bus ignores it.
+    pub fn publish(&self, kind: EventKind) {
+        let ts_us = self.now_us();
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return;
+        }
+        // Flush an outstanding drop marker first, but only if the ring
+        // has room for both the marker and the new event — otherwise
+        // the new event joins the dropped batch.
+        if s.dropped_pending > 0 && s.queue.len() + 1 < self.capacity {
+            let count = std::mem::take(&mut s.dropped_pending);
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.queue.push_back(TelemetryEvent {
+                seq,
+                ts_us,
+                kind: EventKind::Dropped { count },
+            });
+        }
+        if s.queue.len() >= self.capacity {
+            s.dropped_pending += 1;
+            s.next_seq += 1; // the dropped event still burns its seq
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.queue.push_back(TelemetryEvent { seq, ts_us, kind });
+        drop(s);
+        self.available.notify_all();
+    }
+
+    fn drain_locked(&self, s: &mut BusState, ts_us: u64) -> Vec<TelemetryEvent> {
+        if s.dropped_pending > 0 {
+            let count = std::mem::take(&mut s.dropped_pending);
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.queue.push_back(TelemetryEvent {
+                seq,
+                ts_us,
+                kind: EventKind::Dropped { count },
+            });
+        }
+        s.queue.drain(..).collect()
+    }
+
+    /// Removes and returns all buffered events (flushing any pending
+    /// drop marker). Non-blocking.
+    pub fn drain(&self) -> Vec<TelemetryEvent> {
+        let ts_us = self.now_us();
+        let mut s = self.state.lock().unwrap();
+        self.drain_locked(&mut s, ts_us)
+    }
+
+    /// Blocks until at least one event is available, then drains.
+    /// Returns an empty vector only when the bus is closed and empty —
+    /// the consumer's signal to stop.
+    pub fn wait(&self) -> Vec<TelemetryEvent> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if !s.queue.is_empty() || s.dropped_pending > 0 {
+                let ts_us = self.now_us();
+                return self.drain_locked(&mut s, ts_us);
+            }
+            if s.closed {
+                return vec![];
+            }
+            s = self.available.wait(s).unwrap();
+        }
+    }
+
+    /// Closes the bus: later publishes are ignored and a consumer
+    /// blocked in [`EventBus::wait`] wakes up (draining what is left).
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        drop(s);
+        self.available.notify_all();
+    }
+
+    /// Total events dropped under backpressure since creation.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, in-flight
+/// jobs, live e-graph sizes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in milliseconds. The final
+/// implicit `+inf` bucket catches everything beyond the last bound.
+pub const DEFAULT_LATENCY_BUCKETS_MS: [f64; 12] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+];
+
+/// A fixed-bucket latency histogram (cumulative, Prometheus-style:
+/// each bucket counts observations `<=` its upper bound).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds_ms: Vec<f64>,
+    /// One count per bound, plus a trailing `+inf` bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given upper bounds (milliseconds,
+    /// ascending). An `+inf` bucket is appended implicitly.
+    pub fn new(bounds_ms: &[f64]) -> Histogram {
+        Histogram {
+            bounds_ms: bounds_ms.to_vec(),
+            counts: (0..=bounds_ms.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let ms = d.as_secs_f64() * 1e3;
+        let idx = self
+            .bounds_ms
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(self.bounds_ms.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(
+            u64::try_from(d.as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as a strict-parseable JSON object. Bucket upper bounds
+    /// are emitted under `"le"`; the `+inf` bucket's bound is `null`.
+    pub fn to_json(&self) -> Json {
+        let mut buckets = Vec::with_capacity(self.counts.len());
+        for (i, count) in self.counts.iter().enumerate() {
+            let le = match self.bounds_ms.get(i) {
+                Some(&b) => Json::Float(b),
+                None => Json::Null,
+            };
+            buckets.push(Json::obj([
+                ("le_ms", le),
+                ("count", Json::Int(count.load(Ordering::Relaxed) as i64)),
+            ]));
+        }
+        Json::obj([
+            ("buckets", Json::Arr(buckets)),
+            ("count", Json::Int(self.count() as i64)),
+            (
+                "sum_ms",
+                Json::Float(self.sum_us.load(Ordering::Relaxed) as f64 / 1e3),
+            ),
+        ])
+    }
+}
+
+/// A registry of named counters, gauges, and histograms. Metrics are
+/// created on first use and snapshot in name order, so snapshots are
+/// deterministic given the same set of touched metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created zeroed on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, created zeroed on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, created with the default latency
+    /// buckets on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(&DEFAULT_LATENCY_BUCKETS_MS))),
+        )
+    }
+
+    /// Snapshots every touched metric into one strict-parseable JSON
+    /// document: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`, each section keyed by metric name in
+    /// lexicographic order.
+    pub fn snapshot(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, c)| (name.clone(), Json::Int(c.get() as i64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, g)| (name.clone(), Json::Int(g.get())))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.to_json()))
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// The full telemetry surface handed around the service: an event bus
+/// plus a metrics registry. Cheaply shareable as a [`TelemetrySink`].
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// The structured event bus.
+    pub events: EventBus,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// Creates a telemetry hub with the default event capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Creates a telemetry hub bounding the event ring at `capacity`.
+    pub fn with_event_capacity(capacity: usize) -> Telemetry {
+        Telemetry {
+            events: EventBus::with_capacity(capacity),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Final metrics snapshot, including the bus's own drop counter as
+    /// the `events_dropped` counter.
+    pub fn metrics_snapshot(&self) -> Json {
+        let dropped = self.metrics.counter("events_dropped");
+        let total = self.events.dropped_total();
+        dropped.add(total.saturating_sub(dropped.get()));
+        self.metrics.snapshot()
+    }
+}
+
+/// A shared handle to a [`Telemetry`] hub.
+pub type TelemetrySink = Arc<Telemetry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(events: &[TelemetryEvent]) -> Vec<u64> {
+        events.iter().map(|e| e.seq).collect()
+    }
+
+    /// The ordering invariant consumers rely on: gapless sequence
+    /// numbers, except that a `dropped` marker accounts for exactly
+    /// the burned gap before it.
+    fn assert_gapless(events: &[TelemetryEvent]) {
+        let mut expected = events.first().map(|e| e.seq).unwrap_or(0);
+        for e in events {
+            if let EventKind::Dropped { count } = e.kind {
+                expected += count;
+            }
+            assert_eq!(
+                e.seq,
+                expected,
+                "seq gap not accounted for by a dropped marker: {:?}",
+                seqs(events)
+            );
+            expected += 1;
+        }
+    }
+
+    #[test]
+    fn publish_drain_preserves_order_and_seqs() {
+        let bus = EventBus::with_capacity(16);
+        for job in 0..5 {
+            bus.publish(EventKind::JobStarted { job });
+        }
+        let events = bus.drain();
+        assert_eq!(seqs(&events), vec![0, 1, 2, 3, 4]);
+        assert_gapless(&events);
+        assert_eq!(bus.dropped_total(), 0);
+        assert!(bus.drain().is_empty());
+    }
+
+    #[test]
+    fn full_ring_drops_and_emits_marker_with_burned_seqs() {
+        let bus = EventBus::with_capacity(3);
+        for job in 0..7 {
+            bus.publish(EventKind::JobStarted { job });
+        }
+        // Ring held 0,1,2; events 3..7 were dropped (seqs burned).
+        assert_eq!(bus.dropped_total(), 4);
+        let first = bus.drain();
+        assert_eq!(first.len(), 4, "3 events + 1 drop marker");
+        assert!(matches!(first[3].kind, EventKind::Dropped { count: 4 }));
+        assert_eq!(first[3].seq, 7, "marker takes the next seq after the gap");
+        assert_gapless(&first);
+        // Publishing resumes seamlessly after the marker.
+        bus.publish(EventKind::JobStarted { job: 99 });
+        let next = bus.drain();
+        assert_eq!(seqs(&next), vec![8]);
+    }
+
+    #[test]
+    fn marker_is_flushed_by_next_publish_with_room() {
+        let bus = EventBus::with_capacity(2);
+        bus.publish(EventKind::JobStarted { job: 0 });
+        bus.publish(EventKind::JobStarted { job: 1 });
+        bus.publish(EventKind::JobStarted { job: 2 }); // dropped
+        assert_eq!(bus.dropped_total(), 1);
+        let events = bus.drain();
+        assert_gapless(&events);
+        bus.publish(EventKind::JobStarted { job: 3 });
+        let events = bus.drain();
+        // Marker was already flushed by the drain above; the new event
+        // continues the sequence.
+        assert_eq!(events.len(), 1);
+        assert_gapless(&events);
+    }
+
+    #[test]
+    fn closed_bus_ignores_publishes_and_wakes_waiters() {
+        let bus = Arc::new(EventBus::with_capacity(8));
+        let waiter = {
+            let bus = Arc::clone(&bus);
+            std::thread::spawn(move || bus.wait())
+        };
+        // Give the waiter a moment to park, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        bus.close();
+        assert!(waiter.join().unwrap().is_empty());
+        bus.publish(EventKind::JobStarted { job: 0 });
+        assert!(bus.drain().is_empty(), "closed bus accepts nothing");
+    }
+
+    #[test]
+    fn wait_returns_published_events() {
+        let bus = Arc::new(EventBus::with_capacity(8));
+        let waiter = {
+            let bus = Arc::clone(&bus);
+            std::thread::spawn(move || bus.wait())
+        };
+        bus.publish(EventKind::JobStarted { job: 7 });
+        let events = waiter.join().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].kind, EventKind::JobStarted { job: 7 }));
+    }
+
+    #[test]
+    fn every_event_kind_renders_strict_parseable_json() {
+        let kinds = vec![
+            EventKind::JobSubmitted {
+                job: 1,
+                label: "bench/a.blif".into(),
+            },
+            EventKind::JobStarted { job: 1 },
+            EventKind::PhaseStarted {
+                job: 1,
+                phase: "saturate",
+            },
+            EventKind::PhaseFinished {
+                job: 1,
+                phase: "saturate",
+                elapsed: Duration::from_micros(1234),
+            },
+            EventKind::Iteration {
+                job: 1,
+                ruleset: "r1",
+                index: 0,
+                nodes: 100,
+                classes: 40,
+                matches: 17,
+            },
+            EventKind::CacheHit {
+                job: 1,
+                tier: CacheTier::Memory,
+            },
+            EventKind::CacheMiss {
+                job: 1,
+                tier: CacheTier::Disk,
+            },
+            EventKind::CacheEvicted { entries: 2 },
+            EventKind::DiskWriteError {
+                message: "disk full: \"/tmp/x\"".into(),
+            },
+            EventKind::JobDone {
+                job: 1,
+                status: "completed".into(),
+                from_cache: false,
+            },
+            EventKind::Dropped { count: 3 },
+        ];
+        for (seq, kind) in kinds.into_iter().enumerate() {
+            let event = TelemetryEvent {
+                seq: seq as u64,
+                ts_us: 42,
+                kind,
+            };
+            let line = event.to_json().to_string();
+            let parsed =
+                Json::parse(&line).unwrap_or_else(|e| panic!("event line must parse: {e}: {line}"));
+            assert_eq!(parsed.to_string(), line, "round trip must be exact");
+            assert!(!line.contains('\n'), "one event is one line");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_is_deterministic_and_parseable() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("jobs_completed").add(3);
+        metrics.counter("cache_memory_hits").inc();
+        metrics.gauge("queue_depth").set(5);
+        metrics.gauge("queue_depth").add(-2);
+        let h = metrics.histogram("job_ms");
+        h.observe(Duration::from_millis(3));
+        h.observe(Duration::from_secs(30)); // lands in +inf
+        let snap = metrics.snapshot();
+        let text = snap.to_string();
+        let parsed = Json::parse(&text).expect("snapshot must strict-parse");
+        assert_eq!(parsed.to_string(), text);
+        // Deterministic: same mutations, same rendering order.
+        assert!(text.find("cache_memory_hits").unwrap() < text.find("jobs_completed").unwrap());
+        assert_eq!(metrics.gauge("queue_depth").get(), 3);
+        assert_eq!(metrics.histogram("job_ms").count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_by_position() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(Duration::from_micros(500)); // <=1ms
+        h.observe(Duration::from_millis(5)); // <=10ms
+        h.observe(Duration::from_millis(50)); // +inf
+        let json = h.to_json().to_string();
+        assert!(json.contains("\"le_ms\":1"));
+        assert!(json.contains("\"le_ms\":null"));
+        assert_eq!(h.count(), 3);
+    }
+}

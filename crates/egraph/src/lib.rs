@@ -63,7 +63,8 @@ pub use crate::pattern::{
 pub use crate::recexpr::{ParseRecExprError, RecExpr};
 pub use crate::rewrite::{Applier, Condition, ConditionalApplier, Rewrite};
 pub use crate::runner::{
-    BackoffScheduler, Iteration, Runner, RunnerLimits, SimpleScheduler, StopReason,
+    BackoffScheduler, Iteration, IterationHook, RuleProfile, Runner, RunnerLimits, SimpleScheduler,
+    StopReason,
 };
 pub use crate::symbol::Symbol;
 pub use crate::unionfind::UnionFind;

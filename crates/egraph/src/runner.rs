@@ -36,6 +36,39 @@ impl fmt::Display for StopReason {
     }
 }
 
+/// Cumulative per-rule accounting over one [`Runner::run`], maintained
+/// by the driver for every rule regardless of scheduler: how long the
+/// rule's searches took, how many substitutions they yielded (after
+/// scheduling caps), and how many applications changed the e-graph.
+/// The numbers are the rule-granular view of the aggregate
+/// [`Iteration`] statistics, and feed per-rule saturation profiles
+/// (`satbench`'s `top_rules`, the telemetry metrics registry).
+#[derive(Debug, Clone, Default)]
+pub struct RuleProfile {
+    /// Wall-clock time spent searching this rule, summed over all
+    /// iterations.
+    pub search_time: Duration,
+    /// Substitutions the searcher yielded (post-scheduling), summed.
+    pub matches: usize,
+    /// Applications that changed the e-graph, summed.
+    pub applications: usize,
+}
+
+impl RuleProfile {
+    /// Folds another profile (e.g. the same rule's profile from a
+    /// later saturation phase) into this one.
+    pub fn merge(&mut self, other: &RuleProfile) {
+        self.search_time += other.search_time;
+        self.matches += other.matches;
+        self.applications += other.applications;
+    }
+}
+
+/// Observer invoked by [`Runner::run`] after each completed iteration
+/// with `(iteration_index, &Iteration)` — the hook live progress
+/// reporting (telemetry event streams) attaches to.
+pub type IterationHook = Box<dyn Fn(usize, &Iteration)>;
+
 /// Statistics for one saturation iteration.
 #[derive(Debug, Clone)]
 pub struct Iteration {
@@ -220,9 +253,13 @@ pub struct Runner<L: Language, N: Analysis<L> = ()> {
     pub iterations: Vec<Iteration>,
     /// Why the run stopped (`None` until [`Runner::run`] is called).
     pub stop_reason: Option<StopReason>,
+    /// Cumulative per-rule search/match/application accounting (filled
+    /// in by [`Runner::run`]).
+    pub rule_profiles: FxHashMap<Symbol, RuleProfile>,
     limits: RunnerLimits,
     scheduler: Box<dyn RewriteScheduler<L, N>>,
     cancel: CancelToken,
+    iteration_hook: Option<IterationHook>,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
@@ -251,9 +288,11 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             roots: vec![],
             iterations: vec![],
             stop_reason: None,
+            rule_profiles: FxHashMap::default(),
             limits: RunnerLimits::default(),
             scheduler: Box::new(BackoffScheduler::default()),
             cancel: CancelToken::new(),
+            iteration_hook: None,
         }
     }
 
@@ -315,6 +354,14 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Registers an observer invoked after every completed iteration
+    /// with the iteration index and its statistics (from the thread
+    /// running saturation). Used to stream live progress events.
+    pub fn with_iteration_hook(mut self, hook: impl Fn(usize, &Iteration) + 'static) -> Self {
+        self.iteration_hook = Some(Box::new(hook));
+        self
+    }
+
     /// Runs saturation with `rules` until a stop condition; returns
     /// `self` with statistics filled in.
     pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
@@ -335,12 +382,14 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     all_matches.push(vec![]);
                     continue;
                 }
-                all_matches.push(self.scheduler.search_rewrite(
-                    iteration,
-                    &self.egraph,
-                    rule,
-                    &self.cancel,
-                ));
+                let rule_start = Instant::now();
+                let matches =
+                    self.scheduler
+                        .search_rewrite(iteration, &self.egraph, rule, &self.cancel);
+                let profile = self.rule_profiles.entry(rule.name()).or_default();
+                profile.search_time += rule_start.elapsed();
+                profile.matches += matches.iter().map(|m| m.substs.len()).sum::<usize>();
+                all_matches.push(matches);
             }
             let total_matches = all_matches.iter().flatten().map(|m| m.substs.len()).sum();
             let search_time = iter_start.elapsed();
@@ -362,6 +411,10 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 let n = rule.apply(&mut self.egraph, matches);
                 if n > 0 {
                     *applied.entry(rule.name()).or_insert(0) += n;
+                    self.rule_profiles
+                        .entry(rule.name())
+                        .or_default()
+                        .applications += n;
                 }
             }
             let apply_time = apply_start.elapsed();
@@ -383,6 +436,9 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 rebuild_time,
                 n_rebuilds,
             });
+            if let Some(hook) = &self.iteration_hook {
+                hook(iteration, self.iterations.last().unwrap());
+            }
 
             if self.cancel.is_cancelled() {
                 self.stop_reason = Some(StopReason::Cancelled);

@@ -17,15 +17,43 @@
 //!   --no-cache         skip the structural-hash result cache
 //!   --no-timing        omit wall-clock fields (canonical, reproducible JSON)
 //!   --compact          one-line JSON instead of pretty-printed
+//!   --events SINK      stream job/phase/cache events as NDJSON to `-`
+//!                      (stdout; requires --compact) or a file, as jobs run
+//!   --metrics SINK     write a final metrics snapshot (counters, gauges,
+//!                      histograms) to `-` (requires --compact) or a file
 //! ```
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use boole::json::{Json, ToJson};
+use boole::telemetry::{Telemetry, TelemetrySink};
 use boole::BooleParams;
-use boole_service::{run_spec_serial, GenSpec, JobOutcome, JobSpec, Service, ServiceConfig};
+use boole_service::{
+    run_spec_serial_observed, GenSpec, JobOutcome, JobSpec, Service, ServiceConfig,
+};
+
+/// Where a telemetry stream or snapshot goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TelemetrySinkArg {
+    /// `-`: interleave with the result document on stdout.
+    Stdout,
+    /// A file path, created/truncated at startup.
+    File(PathBuf),
+}
+
+impl TelemetrySinkArg {
+    fn parse(value: &str) -> TelemetrySinkArg {
+        if value == "-" {
+            TelemetrySinkArg::Stdout
+        } else {
+            TelemetrySinkArg::File(PathBuf::from(value))
+        }
+    }
+}
 
 struct Options {
     workers: Option<usize>,
@@ -36,6 +64,8 @@ struct Options {
     use_cache: bool,
     timing: bool,
     pretty: bool,
+    events: Option<TelemetrySinkArg>,
+    metrics: Option<TelemetrySinkArg>,
 }
 
 /// Parses a command's arguments into options plus the positional
@@ -51,6 +81,8 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
         use_cache: true,
         timing: true,
         pretty: true,
+        events: None,
+        metrics: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -98,6 +130,20 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 opts.pretty = false;
                 i += 1;
             }
+            "--events" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--events needs a sink: - for stdout, or a file path")?;
+                opts.events = Some(TelemetrySinkArg::parse(v));
+                i += 2;
+            }
+            "--metrics" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--metrics needs a sink: - for stdout, or a file path")?;
+                opts.metrics = Some(TelemetrySinkArg::parse(v));
+                i += 2;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
             }
@@ -116,6 +162,16 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
     if !opts.use_cache && opts.cache_dir.is_some() {
         return Err("--no-cache disables all cache tiers; drop it or --cache-dir".to_owned());
     }
+    // With a `-` sink, telemetry shares stdout with the result document;
+    // requiring --compact keeps stdout line-oriented (every line is one
+    // strict-parseable JSON value), so NDJSON consumers never see a
+    // fragment of a pretty-printed document.
+    if opts.events == Some(TelemetrySinkArg::Stdout) && opts.pretty {
+        return Err("--events - streams NDJSON on stdout; add --compact so every stdout line is one JSON value".to_owned());
+    }
+    if opts.metrics == Some(TelemetrySinkArg::Stdout) && opts.pretty {
+        return Err("--metrics - writes the snapshot to stdout; add --compact so every stdout line is one JSON value".to_owned());
+    }
     Ok((opts, positional))
 }
 
@@ -133,9 +189,53 @@ fn make_spec(source_spec: JobSpec, opts: &Options) -> JobSpec {
     spec
 }
 
-fn execute(specs: Vec<JobSpec>, opts: &Options) -> (Json, bool) {
+/// Opens the writer behind a telemetry sink argument. `-` is stdout, so
+/// event lines and the final result document share one stream.
+fn open_sink(sink: &TelemetrySinkArg) -> Result<Box<dyn std::io::Write + Send>, String> {
+    match sink {
+        TelemetrySinkArg::Stdout => Ok(Box::new(std::io::stdout())),
+        TelemetrySinkArg::File(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Ok(Box::new(std::io::BufWriter::new(file)))
+        }
+    }
+}
+
+fn execute(specs: Vec<JobSpec>, opts: &Options) -> Result<(Json, bool), String> {
+    let telemetry: Option<TelemetrySink> =
+        (opts.events.is_some() || opts.metrics.is_some()).then(|| Arc::new(Telemetry::new()));
+
+    // The streamer drains the bounded event bus while jobs run, so a
+    // worker never blocks on a slow sink (under backpressure the bus
+    // drops events and accounts for them with a `dropped` marker).
+    // Closing the bus after the batch makes `wait` return an empty
+    // batch, which stops the thread.
+    let streamer = match (&opts.events, &telemetry) {
+        (Some(sink), Some(telemetry)) => {
+            let mut writer = open_sink(sink)?;
+            let bus = Arc::clone(telemetry);
+            Some(std::thread::spawn(move || loop {
+                let events = bus.events.wait();
+                if events.is_empty() {
+                    break;
+                }
+                for event in events {
+                    let _ = writeln!(writer, "{}", event.to_json());
+                }
+                let _ = writer.flush();
+            }))
+        }
+        _ => None,
+    };
+
     let (outcomes, stats): (Vec<std::sync::Arc<JobOutcome>>, Option<Json>) = if opts.serial {
-        (specs.into_iter().map(run_spec_serial).collect(), None)
+        let outcomes = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| run_spec_serial_observed(spec, i as u64 + 1, telemetry.as_ref()))
+            .collect();
+        (outcomes, None)
     } else {
         let mut config = ServiceConfig::default();
         if let Some(workers) = opts.workers {
@@ -144,11 +244,27 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> (Json, bool) {
         if let Some(dir) = &opts.cache_dir {
             config = config.with_cache_dir(dir);
         }
+        if let Some(telemetry) = &telemetry {
+            config = config.with_telemetry(Arc::clone(telemetry));
+        }
         let service = Service::new(config);
         let outcomes = service.run_batch(specs);
         let stats = service.shutdown();
         (outcomes, Some(stats.to_json()))
     };
+
+    if let Some(telemetry) = &telemetry {
+        telemetry.events.close();
+    }
+    if let Some(handle) = streamer {
+        let _ = handle.join();
+    }
+    if let (Some(sink), Some(telemetry)) = (&opts.metrics, &telemetry) {
+        let mut writer = open_sink(sink)?;
+        writeln!(writer, "{}", telemetry.metrics_snapshot())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot write the metrics snapshot: {e}"))?;
+    }
 
     let any_failed = outcomes
         .iter()
@@ -168,7 +284,7 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> (Json, bool) {
             pairs.push(("service".to_owned(), stats));
         }
     }
-    (Json::Obj(pairs), any_failed)
+    Ok((Json::Obj(pairs), any_failed))
 }
 
 fn usage() -> String {
@@ -177,6 +293,8 @@ fn usage() -> String {
      \x20         batch mixes formats freely\n\
      options: --workers N --serial --deadline-ms N --params default|small|lightweight\n\
      \x20        --cache-dir DIR --no-cache --no-timing --compact\n\
+     \x20        --events -|FILE (NDJSON event stream) --metrics -|FILE (final snapshot;\n\
+     \x20        a - sink shares stdout with the result document and needs --compact)\n\
      \x20        (options and positional arguments may be interleaved)\n\
      gen specs: csa:N | booth:N | wallace:N, optional suffix :mapped or :dch"
         .to_owned()
@@ -279,7 +397,7 @@ fn run() -> Result<RunPlan, String> {
         "--help" | "-h" | "help" => return Err(usage()),
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     };
-    let (doc, any_failed) = execute(specs, &opts);
+    let (doc, any_failed) = execute(specs, &opts)?;
     Ok(RunPlan {
         doc,
         pretty: opts.pretty,
@@ -374,6 +492,57 @@ mod tests {
                 .unwrap()
                 .contains("--no-cache")
         );
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_interleave_with_positionals() {
+        let (opts, positional) = parse_args(&strings(&[
+            "csa:4",
+            "--events",
+            "/tmp/e.ndjson",
+            "booth:4",
+            "--metrics",
+            "/tmp/m.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.events,
+            Some(TelemetrySinkArg::File(PathBuf::from("/tmp/e.ndjson")))
+        );
+        assert_eq!(
+            opts.metrics,
+            Some(TelemetrySinkArg::File(PathBuf::from("/tmp/m.json")))
+        );
+        assert_eq!(positional, strings(&["csa:4", "booth:4"]));
+
+        // `-` sinks are fine once stdout is line-oriented.
+        let (opts, _) =
+            parse_args(&strings(&["--events", "-", "--metrics", "-", "--compact"])).unwrap();
+        assert_eq!(opts.events, Some(TelemetrySinkArg::Stdout));
+        assert_eq!(opts.metrics, Some(TelemetrySinkArg::Stdout));
+    }
+
+    #[test]
+    fn telemetry_flag_errors_are_targeted() {
+        assert!(parse_args(&strings(&["--events"]))
+            .err()
+            .unwrap()
+            .contains("--events needs a sink"));
+        assert!(parse_args(&strings(&["--metrics"]))
+            .err()
+            .unwrap()
+            .contains("--metrics needs a sink"));
+        // Streaming to stdout without --compact would interleave NDJSON
+        // with a pretty-printed (multi-line) result document.
+        let err = parse_args(&strings(&["--events", "-"])).err().unwrap();
+        assert!(err.contains("--compact"), "got: {err}");
+        let err = parse_args(&strings(&["--metrics", "-"])).err().unwrap();
+        assert!(err.contains("--compact"), "got: {err}");
+        // A file sink never touches stdout, so pretty output stays legal.
+        assert!(parse_args(&strings(&["--events", "/tmp/e.ndjson"])).is_ok());
+        assert!(parse_args(&strings(&["--metrics", "/tmp/m.json"])).is_ok());
+        // Telemetry is orthogonal to scheduling: --serial must stream too.
+        assert!(parse_args(&strings(&["--serial", "--events", "-", "--compact"])).is_ok());
     }
 
     #[test]

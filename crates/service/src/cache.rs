@@ -2,6 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use boole::telemetry::{EventKind, TelemetrySink};
 use egraph::hash::FxHashMap;
 
 use crate::fingerprint::Fingerprint;
@@ -53,6 +54,9 @@ pub struct CacheStats {
 pub struct ResultCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    /// Optional event sink notified of evictions (out-of-band; never
+    /// consulted for cache decisions).
+    telemetry: Option<TelemetrySink>,
 }
 
 struct CacheInner {
@@ -101,7 +105,15 @@ impl ResultCache {
                 insertions: 0,
                 evictions: 0,
             }),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink that receives an event per eviction
+    /// pass.
+    pub fn with_telemetry(mut self, telemetry: Option<TelemetrySink>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Looks up `key`, counting a hit or miss. A hit re-prices the
@@ -143,6 +155,7 @@ impl ResultCache {
             summary,
         };
         let fresh = inner.map.insert(key, entry).is_none();
+        let mut evicted = 0u64;
         if fresh {
             inner.insertions += 1;
             while inner.map.len() > self.capacity {
@@ -158,10 +171,20 @@ impl ResultCache {
                     .expect("non-empty map over capacity");
                 inner.map.remove(&victim);
                 inner.evictions += 1;
+                evicted += 1;
                 // Inflate: everything cheaper than the victim would
                 // also have been evicted, so future entries must beat
                 // this price to outlive the present working set.
                 inner.clock = inner.clock.max(priority);
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry
+                    .events
+                    .publish(EventKind::CacheEvicted { entries: evicted });
+                telemetry.metrics.counter("cache_evictions").add(evicted);
             }
         }
     }
@@ -291,6 +314,7 @@ mod tests {
                 apply_time: Duration::ZERO,
                 rebuild_time: Duration::ZERO,
                 total_matches: 0,
+                rules: Vec::new(),
             },
             pairing: boole::PairStats::default(),
             pipeline_runtime: Duration::from_millis(ms),
@@ -403,6 +427,23 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, total_gets);
         assert_eq!(s.insertions, s.entries as u64 + s.evictions);
+    }
+
+    #[test]
+    fn evictions_are_reported_to_telemetry() {
+        let telemetry = Arc::new(boole::Telemetry::new());
+        let cache = ResultCache::new(1).with_telemetry(Some(Arc::clone(&telemetry)));
+        cache.insert(key(1), summary_with_runtime_ms(1));
+        assert!(telemetry.events.drain().is_empty(), "no eviction yet");
+        cache.insert(key(2), summary_with_runtime_ms(1));
+        let events = telemetry.events.drain();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::CacheEvicted { entries: 1 })),
+            "eviction must publish an event: {events:?}"
+        );
+        assert_eq!(telemetry.metrics.counter("cache_evictions").get(), 1);
     }
 
     #[test]

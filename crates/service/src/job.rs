@@ -409,6 +409,14 @@ impl JobOutcome {
                 "pipeline_ms".to_owned(),
                 Json::duration_ms(summary.pipeline_runtime),
             ));
+            // Saturation phase breakdown (struct-only fields: they are
+            // wall clocks, so they live here, not in the canonical
+            // document). A cache-served summary reports zeros.
+            let sat = &summary.saturation;
+            pairs.push(("search_ms".to_owned(), Json::duration_ms(sat.search_time)));
+            pairs.push(("apply_ms".to_owned(), Json::duration_ms(sat.apply_time)));
+            pairs.push(("rebuild_ms".to_owned(), Json::duration_ms(sat.rebuild_time)));
+            pairs.push(("total_matches".to_owned(), Json::from(sat.total_matches)));
         }
         Json::Obj(pairs)
     }
@@ -514,6 +522,7 @@ mod tests {
                             apply_time: Duration::ZERO,
                             rebuild_time: Duration::ZERO,
                             total_matches: n1 + n2,
+                            rules: Vec::new(),
                         },
                         pairing: PairStats {
                             fa_inserted: pair.0,

@@ -45,5 +45,7 @@ pub use job::{
     GenFamily, GenPrep, GenSpec, JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict,
     ResultSummary,
 };
-pub use service::{run_spec_serial, JobHandle, Service, ServiceConfig, ServiceStats};
+pub use service::{
+    run_spec_serial, run_spec_serial_observed, JobHandle, Service, ServiceConfig, ServiceStats,
+};
 pub use store::{DiskStats, DiskStore, STORE_FORMAT_VERSION};

@@ -12,6 +12,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use boole::json::{Json, ToJson};
+use boole::telemetry::{CacheTier, EventKind, TelemetrySink};
 use boole::{BoolE, CancelToken, PhaseEvent};
 use egraph::hash::FxHashMap;
 
@@ -37,6 +38,12 @@ pub struct ServiceConfig {
     /// restarts and are shared by every service pointed at the same
     /// directory.
     pub cache_dir: Option<PathBuf>,
+    /// Optional telemetry hub: every lifecycle, phase, iteration, and
+    /// cache transition publishes an event here, and the metrics
+    /// registry tracks counters/gauges/histograms. `None` (the
+    /// default) makes every telemetry site a no-op; attaching a sink
+    /// never changes job results (telemetry is strictly out-of-band).
+    pub telemetry: Option<TelemetrySink>,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +56,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             cache_dir: None,
+            telemetry: None,
         }
     }
 }
@@ -63,6 +71,12 @@ impl ServiceConfig {
     /// Enables the persistent cache tier under `dir`.
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Attaches a telemetry hub (event bus + metrics registry).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -388,6 +402,8 @@ struct Shared {
     counters: Counters,
     watchdog: Mutex<WatchdogQueue>,
     watchdog_wake: Condvar,
+    /// Out-of-band event bus + metrics; `None` disables all telemetry.
+    telemetry: Option<TelemetrySink>,
 }
 
 /// A concurrent batch-reasoning server over the BoolE pipeline.
@@ -414,6 +430,7 @@ impl Service {
     /// directory cannot be created the disk tier is disabled with a
     /// warning — a broken cache disk must not take the service down.
     pub fn new(config: ServiceConfig) -> Self {
+        let telemetry = config.telemetry.clone();
         let store = config.cache_dir.as_ref().and_then(|dir| {
             DiskStore::open(dir)
                 .map_err(|err| {
@@ -423,14 +440,16 @@ impl Service {
                     );
                 })
                 .ok()
+                .map(|store| store.with_telemetry(telemetry.clone()))
         });
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(config.cache_capacity),
+            cache: ResultCache::new(config.cache_capacity).with_telemetry(telemetry.clone()),
             store,
             flights: Mutex::new(FxHashMap::default()),
             counters: Counters::default(),
             watchdog: Mutex::new(WatchdogQueue::default()),
             watchdog_wake: Condvar::new(),
+            telemetry,
         });
         let (sender, receiver) = mpsc::sync_channel(config.queue_capacity.max(1));
         let receiver: Arc<JobQueue> = Arc::new(Mutex::new(receiver));
@@ -479,7 +498,8 @@ impl Service {
         })
     }
 
-    /// Accounts an accepted job: deadline registration + counters.
+    /// Accounts an accepted job: deadline registration + counters +
+    /// the `job_submitted` event.
     fn register(&self, deadline: Option<Duration>, state: &Arc<JobState>) {
         if let Some(deadline) = deadline {
             let mut queue = self.shared.watchdog.lock().expect("watchdog poisoned");
@@ -493,6 +513,14 @@ impl Service {
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(telemetry) = &self.shared.telemetry {
+            telemetry.events.publish(EventKind::JobSubmitted {
+                job: state.id,
+                label: state.label.clone(),
+            });
+            telemetry.metrics.counter("jobs_submitted").inc();
+            telemetry.metrics.gauge("queue_depth").add(1);
+        }
     }
 
     /// Submits a job, blocking while the bounded queue is full.
@@ -631,11 +659,18 @@ fn worker_loop(receiver: &JobQueue, shared: &Shared) {
         let Ok((spec, state)) = next else {
             return; // channel closed: shutdown
         };
+        if let Some(telemetry) = &shared.telemetry {
+            telemetry
+                .events
+                .publish(EventKind::JobStarted { job: state.id });
+            telemetry.metrics.gauge("queue_depth").add(-1);
+            telemetry.metrics.gauge("in_flight_jobs").add(1);
+        }
         // A panicking pipeline must not strand the JobHandle: convert
         // the panic into a Failed outcome so wait() always returns and
         // this worker survives to take the next job.
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(&spec, &state, Some(shared))
+            execute_job(&spec, &state, Some(shared), shared.telemetry.as_ref())
         }));
         let outcome = run.unwrap_or_else(|payload| {
             let message = payload
@@ -652,7 +687,33 @@ fn worker_loop(receiver: &JobQueue, shared: &Shared) {
             JobVerdict::Failed(_) => &shared.counters.failed,
         }
         .fetch_add(1, Ordering::Relaxed);
+        // The terminal event is published from the outcome (not inside
+        // `execute_job`), so even a panicking pipeline emits one.
+        if let Some(telemetry) = &shared.telemetry {
+            publish_job_done(telemetry, &outcome);
+            telemetry.metrics.gauge("in_flight_jobs").add(-1);
+        }
     }
+}
+
+/// Publishes a job's terminal event and outcome metrics. Shared by the
+/// pooled and serial paths, so both emit the same stream shape.
+fn publish_job_done(telemetry: &TelemetrySink, outcome: &JobOutcome) {
+    telemetry.events.publish(EventKind::JobDone {
+        job: outcome.job_id,
+        status: outcome.status().name().to_owned(),
+        from_cache: outcome.from_cache,
+    });
+    let counter = match outcome.status() {
+        JobStatus::Completed => "jobs_completed",
+        JobStatus::Cancelled => "jobs_cancelled",
+        _ => "jobs_failed",
+    };
+    telemetry.metrics.counter(counter).inc();
+    telemetry
+        .metrics
+        .histogram("job_ms")
+        .observe(outcome.service_time);
 }
 
 /// Resolves a job source into a netlist.
@@ -699,7 +760,12 @@ fn join_or_lead<'a>(shared: &'a Shared, key: CacheKey) -> FlightRole<'a> {
 /// submissions are deduplicated to one pipeline run, and pipeline
 /// counters are maintained; without it (the standalone serial path)
 /// the pipeline always runs.
-fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -> Arc<JobOutcome> {
+fn execute_job(
+    spec: &JobSpec,
+    state: &Arc<JobState>,
+    shared: Option<&Shared>,
+    telemetry: Option<&TelemetrySink>,
+) -> Arc<JobOutcome> {
     if state.cancel.is_cancelled() {
         return state.finalize(JobVerdict::Cancelled { phase: None }, false);
     }
@@ -732,12 +798,26 @@ fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -
             }
             match join_or_lead(shared, cache_key) {
                 FlightRole::Leader(guard) => {
-                    if let Some(summary) = shared.cache.get(&cache_key) {
+                    let looked_up = shared.cache.get(&cache_key);
+                    publish_cache_lookup(
+                        telemetry,
+                        state.id,
+                        CacheTier::Memory,
+                        looked_up.is_some(),
+                    );
+                    if let Some(summary) = looked_up {
                         // Guard drop retires the (useless) flight.
                         return state.finalize(JobVerdict::Completed(summary), true);
                     }
                     if let Some(store) = &shared.store {
-                        if let Some(summary) = store.get(&cache_key) {
+                        let looked_up = store.get(&cache_key);
+                        publish_cache_lookup(
+                            telemetry,
+                            state.id,
+                            CacheTier::Disk,
+                            looked_up.is_some(),
+                        );
+                        if let Some(summary) = looked_up {
                             // Promote to the memory tier so the next
                             // hit skips the disk read and JSON parse.
                             shared.cache.insert(cache_key, Arc::clone(&summary));
@@ -768,14 +848,65 @@ fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -
             .fetch_add(1, Ordering::Relaxed);
     }
     let progress = Arc::clone(state);
+    let phase_sink = telemetry.cloned();
+    let job_id = state.id;
     let engine = BoolE::new(spec.params.clone()).with_phase_callback(Arc::new(move |event| {
         if let PhaseEvent::Started(phase) = event {
             progress.set_status(JobStatus::Running(Some(*phase)));
+        }
+        let Some(telemetry) = &phase_sink else { return };
+        match event {
+            PhaseEvent::Started(phase) => {
+                telemetry.events.publish(EventKind::PhaseStarted {
+                    job: job_id,
+                    phase: phase.name(),
+                });
+            }
+            PhaseEvent::Finished { phase, elapsed } => {
+                telemetry.events.publish(EventKind::PhaseFinished {
+                    job: job_id,
+                    phase: phase.name(),
+                    elapsed: *elapsed,
+                });
+                telemetry
+                    .metrics
+                    .histogram(&format!("phase_{}_ms", phase.name()))
+                    .observe(*elapsed);
+            }
+            PhaseEvent::Iteration {
+                ruleset,
+                index,
+                nodes,
+                classes,
+                matches,
+            } => {
+                telemetry.events.publish(EventKind::Iteration {
+                    job: job_id,
+                    ruleset,
+                    index: *index,
+                    nodes: *nodes,
+                    classes: *classes,
+                    matches: *matches,
+                });
+                telemetry.metrics.gauge("egraph_nodes").set(*nodes as i64);
+                telemetry
+                    .metrics
+                    .gauge("egraph_classes")
+                    .set(*classes as i64);
+            }
         }
     }));
     match engine.try_run(&netlist) {
         Ok(result) => {
             let summary = Arc::new(ResultSummary::from(&result));
+            if let Some(telemetry) = telemetry {
+                // Per-rule search-time profile into the histogram the
+                // relational-matching work will be measured against.
+                let hist = telemetry.metrics.histogram("rule_search_ms");
+                for rule in &summary.saturation.rules {
+                    hist.observe(rule.search_time);
+                }
+            }
             if let Some(shared) = shared.filter(|_| spec.use_cache) {
                 shared.cache.insert(cache_key, Arc::clone(&summary));
                 if let Some(store) = &shared.store {
@@ -803,15 +934,45 @@ fn execute_job(spec: &JobSpec, state: &Arc<JobState>, shared: Option<&Shared>) -
     }
 }
 
+/// Publishes the cache hit/miss event and counter for one tier lookup.
+fn publish_cache_lookup(telemetry: Option<&TelemetrySink>, job: u64, tier: CacheTier, hit: bool) {
+    let Some(telemetry) = telemetry else { return };
+    let kind = if hit {
+        EventKind::CacheHit { job, tier }
+    } else {
+        EventKind::CacheMiss { job, tier }
+    };
+    telemetry.events.publish(kind);
+    let counter = match (tier, hit) {
+        (CacheTier::Memory, true) => "cache_memory_hits",
+        (CacheTier::Memory, false) => "cache_memory_misses",
+        (CacheTier::Disk, true) => "cache_disk_hits",
+        (CacheTier::Disk, false) => "cache_disk_misses",
+    };
+    telemetry.metrics.counter(counter).inc();
+}
+
 /// Runs a spec inline on the calling thread with no pool and no cache —
 /// the reference serial path (`boole --serial`, determinism tests).
 /// A `deadline` on the spec is still honored, via a one-shot timer
 /// thread standing in for the service's watchdog.
-pub fn run_spec_serial(mut spec: JobSpec) -> Arc<JobOutcome> {
+pub fn run_spec_serial(spec: JobSpec) -> Arc<JobOutcome> {
+    run_spec_serial_observed(spec, 0, None)
+}
+
+/// [`run_spec_serial`] with a caller-assigned job id and an optional
+/// telemetry sink. Emits the same submitted/started/phase/done event
+/// stream a pooled worker would, so `--serial` runs can be diffed
+/// against concurrent ones event-for-event.
+pub fn run_spec_serial_observed(
+    mut spec: JobSpec,
+    job_id: u64,
+    telemetry: Option<&TelemetrySink>,
+) -> Arc<JobOutcome> {
     let cancel = CancelToken::new();
     spec.params = spec.params.with_cancel_token(cancel.clone());
     let state = Arc::new(JobState {
-        id: 0,
+        id: job_id,
         label: spec.label.clone(),
         cancel: cancel.clone(),
         cell: Mutex::new(JobCell {
@@ -821,6 +982,17 @@ pub fn run_spec_serial(mut spec: JobSpec) -> Arc<JobOutcome> {
         done: Condvar::new(),
         submitted_at: Instant::now(),
     });
+    if let Some(telemetry) = telemetry {
+        telemetry.events.publish(EventKind::JobSubmitted {
+            job: job_id,
+            label: spec.label.clone(),
+        });
+        telemetry.metrics.counter("jobs_submitted").inc();
+        telemetry
+            .events
+            .publish(EventKind::JobStarted { job: job_id });
+        telemetry.metrics.gauge("in_flight_jobs").add(1);
+    }
     // `disarm` going out of scope (dropping the sender) wakes the
     // timer early so it never outlives the job it guards.
     let timer = spec.deadline.map(|deadline| {
@@ -832,10 +1004,14 @@ pub fn run_spec_serial(mut spec: JobSpec) -> Arc<JobOutcome> {
         });
         (disarm, handle)
     });
-    let outcome = execute_job(&spec, &state, None);
+    let outcome = execute_job(&spec, &state, None, telemetry);
     if let Some((disarm, handle)) = timer {
         drop(disarm);
         let _ = handle.join();
+    }
+    if let Some(telemetry) = telemetry {
+        publish_job_done(telemetry, &outcome);
+        telemetry.metrics.gauge("in_flight_jobs").add(-1);
     }
     outcome
 }

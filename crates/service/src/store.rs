@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use boole::json::{expect_exact_fields, FromJson, Json, JsonError, ToJson};
+use boole::telemetry::{EventKind, TelemetrySink};
 
 use crate::cache::CacheKey;
 use crate::fingerprint::Fingerprint;
@@ -61,6 +62,9 @@ pub struct DiskStore {
     misses: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
+    /// Optional event sink notified of write failures (the visible
+    /// warning on stderr is emitted regardless).
+    telemetry: Option<TelemetrySink>,
 }
 
 impl DiskStore {
@@ -75,7 +79,15 @@ impl DiskStore {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry sink that receives an event per failed
+    /// write.
+    pub fn with_telemetry(mut self, telemetry: Option<TelemetrySink>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The directory this store persists into.
@@ -126,10 +138,17 @@ impl DiskStore {
             Err(err) => {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = std::fs::remove_file(&tmp);
-                eprintln!(
-                    "warning: persistent cache write failed for {}: {err}",
+                let message = format!(
+                    "persistent cache write failed for {}: {err}",
                     self.record_path(key).display()
                 );
+                eprintln!("warning: {message}");
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry
+                        .events
+                        .publish(EventKind::DiskWriteError { message });
+                    telemetry.metrics.counter("disk_write_errors").inc();
+                }
             }
         }
     }
@@ -304,6 +323,7 @@ mod tests {
 
     #[test]
     fn write_failures_are_counted_not_fatal() {
+        let telemetry = Arc::new(boole::Telemetry::new());
         let store = DiskStore {
             // A file path (not a directory) makes every write fail.
             dir: PathBuf::from("/dev/null/not-a-dir"),
@@ -312,9 +332,21 @@ mod tests {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
-        };
+            telemetry: None,
+        }
+        .with_telemetry(Some(Arc::clone(&telemetry)));
         store.put(&sample_key(), &sample_summary());
         assert_eq!(store.stats().write_errors, 1);
         assert_eq!(store.stats().writes, 0);
+        // The failure is also a telemetry event, not only a counter.
+        let events = telemetry.events.drain();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(&e.kind, EventKind::DiskWriteError { message }
+                    if message.contains("not-a-dir"))),
+            "write failure must publish an event: {events:?}"
+        );
+        assert_eq!(telemetry.metrics.counter("disk_write_errors").get(), 1);
     }
 }

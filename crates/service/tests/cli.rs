@@ -43,6 +43,93 @@ fn gen_batch_json_is_identical_across_serial_and_four_workers() {
 }
 
 #[test]
+fn event_stream_is_strict_ndjson_and_leaves_results_byte_identical() {
+    let specs = ["csa:2", "csa:3", "wallace:3"];
+    let base = ["--params", "small", "--no-timing", "--compact"];
+    let run = |extra: &[&str]| {
+        let output = boole()
+            .arg("gen")
+            .args(specs)
+            .args(base)
+            .args(extra)
+            .output()
+            .expect("spawn boole");
+        assert!(
+            output.status.success(),
+            "boole failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).expect("utf8 json")
+    };
+
+    let plain = run(&[]);
+    let streamed = run(&["--events", "-", "--metrics", "-"]);
+
+    // Every stdout line — events, metrics snapshot, result document —
+    // must survive the strict parser on its own.
+    let lines: Vec<&str> = streamed.lines().collect();
+    for line in &lines {
+        boole::json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("stdout line is not strict JSON: {e:?}\n{line}"));
+    }
+    // Telemetry rides above the result channel: the final document is
+    // byte-identical to a run with no telemetry at all.
+    assert_eq!(lines.last(), plain.lines().last().as_ref());
+    assert!(
+        lines.len() > 2,
+        "expected event lines before the result document, got {} lines",
+        lines.len()
+    );
+    assert!(lines[0].contains("\"event\":\"job_submitted\""));
+    assert!(streamed.contains("\"event\":\"job_done\""));
+    assert!(streamed.contains("\"counters\""));
+
+    // A --serial run streams the same event vocabulary.
+    let serial = run(&["--serial", "--events", "-"]);
+    assert!(serial.contains("\"event\":\"phase_finished\""));
+    assert_eq!(serial.lines().last(), plain.lines().last());
+}
+
+#[test]
+fn event_and_metrics_files_hold_the_stream_and_snapshot() {
+    let dir = std::env::temp_dir().join(format!("boole-ev-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let events_path = dir.join("events.ndjson");
+    let metrics_path = dir.join("metrics.json");
+    let output = boole()
+        .args(["gen", "csa:2", "--params", "small"])
+        .arg("--events")
+        .arg(&events_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .output()
+        .expect("spawn boole");
+    assert!(output.status.success());
+    // File sinks leave stdout to the (pretty, multi-line) result alone.
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(!stdout.contains("\"event\""));
+
+    let events = std::fs::read_to_string(&events_path).unwrap();
+    let mut kinds = Vec::new();
+    for line in events.lines() {
+        let doc = boole::json::Json::parse(line).expect("strict NDJSON line");
+        if let boole::json::Json::Obj(pairs) = &doc {
+            if let Some((_, boole::json::Json::Str(kind))) =
+                pairs.iter().find(|(k, _)| k == "event")
+            {
+                kinds.push(kind.clone());
+            }
+        }
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("job_submitted"));
+    assert_eq!(kinds.last().map(String::as_str), Some("job_done"));
+
+    let metrics = boole::json::Json::parse(&std::fs::read_to_string(&metrics_path).unwrap());
+    assert!(metrics.is_ok(), "metrics snapshot must be strict JSON");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn run_command_reads_an_aag_file() {
     let dir = std::env::temp_dir().join(format!("boole-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

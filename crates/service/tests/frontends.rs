@@ -33,6 +33,7 @@ fn cross_format_submissions_share_one_cache_entry() {
         queue_capacity: 8,
         cache_capacity: 8,
         cache_dir: None,
+        telemetry: None,
     });
     let spec = |path: &PathBuf| JobSpec::file(path).with_params(BooleParams::small());
 

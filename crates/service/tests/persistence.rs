@@ -22,6 +22,7 @@ fn config(cache_dir: &std::path::Path) -> ServiceConfig {
         queue_capacity: 8,
         cache_capacity: 8,
         cache_dir: Some(cache_dir.to_path_buf()),
+        telemetry: None,
     }
 }
 

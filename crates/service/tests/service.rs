@@ -39,6 +39,7 @@ fn four_worker_batch_matches_serial_byte_for_byte() {
         queue_capacity: 16,
         cache_capacity: 64,
         cache_dir: None,
+        telemetry: None,
     });
     let concurrent = service.run_batch(mixed_specs());
     let stats = service.shutdown();
@@ -79,6 +80,7 @@ fn duplicate_netlists_serialize_identically_across_modes() {
         queue_capacity: 4,
         cache_capacity: 4,
         cache_dir: None,
+        telemetry: None,
     });
     let concurrent = service.run_batch(specs());
     service.shutdown();
@@ -107,6 +109,7 @@ fn resubmitted_netlist_is_answered_from_cache_without_saturation() {
         queue_capacity: 8,
         cache_capacity: 8,
         cache_dir: None,
+        telemetry: None,
     });
     let spec =
         || JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small());
@@ -160,6 +163,7 @@ fn cold_cache_stampede_runs_saturation_exactly_once() {
         queue_capacity: 16,
         cache_capacity: 16,
         cache_dir: None,
+        telemetry: None,
     });
     let specs: Vec<JobSpec> = (0..6)
         .map(|_| {
@@ -195,6 +199,7 @@ fn cancelled_leader_does_not_strand_coalesced_followers() {
         queue_capacity: 16,
         cache_capacity: 16,
         cache_dir: None,
+        telemetry: None,
     });
     let spec = || {
         JobSpec::generated(GenSpec::parse("csa:5").unwrap())
@@ -224,6 +229,7 @@ fn one_ms_deadline_cancels_cooperatively_without_poisoning_the_pool() {
         queue_capacity: 8,
         cache_capacity: 8,
         cache_dir: None,
+        telemetry: None,
     });
     // csa:8 saturates for many seconds under default params; a 1 ms
     // deadline must kill it long before that.
@@ -258,6 +264,7 @@ fn explicit_cancel_stops_a_large_job_mid_saturation() {
         queue_capacity: 4,
         cache_capacity: 4,
         cache_dir: None,
+        telemetry: None,
     });
     // Give the job a huge budget so only cancellation can stop it soon.
     let params = BooleParams {
@@ -307,6 +314,7 @@ fn queued_jobs_cancel_before_running() {
         queue_capacity: 8,
         cache_capacity: 8,
         cache_dir: None,
+        telemetry: None,
     });
     let blocker = service.submit(
         JobSpec::generated(GenSpec::parse("csa:6").unwrap()).with_params(BooleParams::default()),
@@ -332,6 +340,7 @@ fn failed_sources_are_reported_not_panicked() {
         queue_capacity: 4,
         cache_capacity: 4,
         cache_dir: None,
+        telemetry: None,
     });
     let missing = service.submit(JobSpec::aag_file("/nonexistent/never.aag"));
     let outcome = missing.wait();

@@ -1,0 +1,255 @@
+//! Event-stream invariants: phase bracketing per job, gapless sequence
+//! numbers (modulo explicit `dropped` markers), terminal events under
+//! cancellation, and serial/pooled stream parity.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use boole::telemetry::{EventKind, Telemetry, TelemetryEvent, TelemetrySink};
+use boole::BooleParams;
+use boole_service::{run_spec_serial_observed, GenSpec, JobSpec, Service, ServiceConfig};
+
+fn sink() -> TelemetrySink {
+    Arc::new(Telemetry::new())
+}
+
+fn config(workers: usize, telemetry: &TelemetrySink) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_workers(workers)
+        .with_telemetry(Arc::clone(telemetry))
+}
+
+fn spec(text: &str) -> JobSpec {
+    JobSpec::generated(GenSpec::parse(text).unwrap())
+        .with_params(BooleParams::small().without_time_limit())
+}
+
+fn job_of(kind: &EventKind) -> Option<u64> {
+    match kind {
+        EventKind::JobSubmitted { job, .. }
+        | EventKind::JobStarted { job }
+        | EventKind::PhaseStarted { job, .. }
+        | EventKind::PhaseFinished { job, .. }
+        | EventKind::Iteration { job, .. }
+        | EventKind::CacheHit { job, .. }
+        | EventKind::CacheMiss { job, .. }
+        | EventKind::JobDone { job, .. } => Some(*job),
+        EventKind::CacheEvicted { .. }
+        | EventKind::DiskWriteError { .. }
+        | EventKind::Dropped { .. } => None,
+    }
+}
+
+/// Asserts the cross-job invariants on a full drained stream: sequence
+/// numbers are gapless except where a `dropped` marker accounts for
+/// exactly the burned range, and every job's events are well-bracketed
+/// (submitted, then started, phases open/close strictly nested with
+/// iterations only inside `saturate`, and a single terminal
+/// `job_done` after which the job goes silent).
+fn assert_stream_invariants(events: &[TelemetryEvent]) {
+    let mut expected_seq = 0u64;
+    for event in events {
+        if let EventKind::Dropped { count } = event.kind {
+            assert!(count > 0, "empty dropped marker at seq {}", event.seq);
+            expected_seq += count;
+        }
+        assert_eq!(
+            event.seq, expected_seq,
+            "sequence gap not accounted by a dropped marker"
+        );
+        expected_seq += 1;
+    }
+
+    let jobs: std::collections::BTreeSet<u64> =
+        events.iter().filter_map(|e| job_of(&e.kind)).collect();
+    for job in jobs {
+        let stream: Vec<&EventKind> = events
+            .iter()
+            .filter(|e| job_of(&e.kind) == Some(job))
+            .map(|e| &e.kind)
+            .collect();
+        assert!(
+            matches!(stream[0], EventKind::JobSubmitted { .. }),
+            "job {job} must open with job_submitted, got {:?}",
+            stream[0]
+        );
+        let mut open_phase: Option<&str> = None;
+        let mut done = false;
+        let mut started = false;
+        for kind in &stream[1..] {
+            assert!(!done, "job {job} emitted {kind:?} after its job_done");
+            match kind {
+                EventKind::JobSubmitted { .. } => panic!("job {job} submitted twice"),
+                EventKind::JobStarted { .. } => {
+                    assert!(!started, "job {job} started twice");
+                    started = true;
+                }
+                EventKind::PhaseStarted { phase, .. } => {
+                    assert!(started, "job {job}: phase before job_started");
+                    assert_eq!(
+                        open_phase, None,
+                        "job {job}: phase {phase} opened inside another phase"
+                    );
+                    open_phase = Some(phase);
+                }
+                EventKind::PhaseFinished { phase, .. } => {
+                    assert_eq!(
+                        open_phase,
+                        Some(*phase),
+                        "job {job}: phase_finished({phase}) without matching start"
+                    );
+                    open_phase = None;
+                }
+                EventKind::Iteration { .. } => {
+                    assert_eq!(
+                        open_phase,
+                        Some("saturate"),
+                        "job {job}: iteration outside the saturate phase"
+                    );
+                }
+                EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => {
+                    assert!(started, "job {job}: cache lookup before job_started");
+                }
+                EventKind::JobDone { .. } => {
+                    assert_eq!(open_phase, None, "job {job} finished inside an open phase");
+                    done = true;
+                }
+                EventKind::CacheEvicted { .. }
+                | EventKind::DiskWriteError { .. }
+                | EventKind::Dropped { .. } => unreachable!("not job-scoped"),
+            }
+        }
+        assert!(done, "job {job} never reached a terminal job_done event");
+    }
+}
+
+#[test]
+fn pooled_batch_stream_is_bracketed_and_gapless() {
+    let telemetry = sink();
+    let service = Service::new(config(3, &telemetry));
+    // Distinct specs: no single-flight coalescing, every job runs its
+    // own pipeline, so each one must show the full phase bracket.
+    service.run_batch(vec![spec("csa:2"), spec("csa:3"), spec("wallace:3")]);
+    service.shutdown();
+    telemetry.events.close();
+    let events = telemetry.events.drain();
+    assert_stream_invariants(&events);
+    assert_eq!(telemetry.events.dropped_total(), 0);
+    let done = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::JobDone { .. }))
+        .count();
+    assert_eq!(done, 3, "one terminal event per job");
+}
+
+#[test]
+fn serial_stream_is_bracketed_and_matches_pooled_per_job() {
+    let specs = ["csa:2", "csa:3", "wallace:3"];
+
+    let serial = sink();
+    for (i, text) in specs.iter().enumerate() {
+        run_spec_serial_observed(spec(text), i as u64 + 1, Some(&serial));
+    }
+    serial.events.close();
+    let serial_events = serial.events.drain();
+    assert_stream_invariants(&serial_events);
+
+    let pooled = sink();
+    let service = Service::new(config(1, &pooled));
+    service.run_batch(specs.iter().map(|t| spec(t)));
+    service.shutdown();
+    pooled.events.close();
+    let pooled_events = pooled.events.drain();
+    assert_stream_invariants(&pooled_events);
+
+    // Per job, the serial stream is the pooled stream minus the cache
+    // probes the serial path (cache-less by construction) never makes.
+    let shape = |events: &[TelemetryEvent], job: u64| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| job_of(&e.kind) == Some(job))
+            .filter_map(|e| match &e.kind {
+                EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => None,
+                EventKind::PhaseStarted { phase, .. } => Some(format!("phase_started:{phase}")),
+                EventKind::PhaseFinished { phase, .. } => Some(format!("phase_finished:{phase}")),
+                EventKind::Iteration { ruleset, index, .. } => {
+                    Some(format!("iteration:{ruleset}:{index}"))
+                }
+                kind => Some(kind.name().to_owned()),
+            })
+            .collect()
+    };
+    for job in 1..=specs.len() as u64 {
+        assert_eq!(
+            shape(&serial_events, job),
+            shape(&pooled_events, job),
+            "job {job}: serial and pooled streams diverged"
+        );
+    }
+}
+
+#[test]
+fn deadline_doomed_job_still_emits_terminal_event() {
+    // Pooled: a job whose deadline expires mid-saturation must still
+    // close its stream with job_done { status: "cancelled" }.
+    let telemetry = sink();
+    let service = Service::new(config(1, &telemetry));
+    let doomed = JobSpec::generated(GenSpec::parse("csa:8").unwrap())
+        .with_deadline(Duration::from_millis(1));
+    service.run_batch(vec![doomed]);
+    service.shutdown();
+    telemetry.events.close();
+    let events = telemetry.events.drain();
+    let terminal = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::JobDone { status, .. } => Some(status.clone()),
+            _ => None,
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(terminal, ["cancelled"], "events: {events:?}");
+
+    // Serial path: same guarantee.
+    let serial = sink();
+    let doomed = JobSpec::generated(GenSpec::parse("csa:8").unwrap())
+        .with_deadline(Duration::from_millis(1));
+    run_spec_serial_observed(doomed, 1, Some(&serial));
+    serial.events.close();
+    let events = serial.events.drain();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::JobDone { status, .. } if status == "cancelled")),
+        "events: {events:?}"
+    );
+}
+
+#[test]
+fn tiny_bus_drops_under_backpressure_but_accounts_for_every_seq() {
+    // Nobody drains while the batch runs, so a 16-slot ring must drop;
+    // the final drain still yields a gapless stream via its marker, and
+    // the drop counter matches the markers' sum.
+    let telemetry: TelemetrySink = Arc::new(Telemetry::with_event_capacity(16));
+    let service = Service::new(config(2, &telemetry));
+    service.run_batch(vec![spec("csa:3"), spec("csa:4"), spec("wallace:4")]);
+    service.shutdown();
+    telemetry.events.close();
+    let events = telemetry.events.drain();
+
+    let mut expected_seq = 0u64;
+    let mut marked = 0u64;
+    for event in &events {
+        if let EventKind::Dropped { count } = event.kind {
+            expected_seq += count;
+            marked += count;
+        }
+        assert_eq!(event.seq, expected_seq, "unaccounted sequence gap");
+        expected_seq += 1;
+    }
+    assert!(marked > 0, "a 16-slot ring must have dropped something");
+    assert_eq!(
+        marked,
+        telemetry.events.dropped_total(),
+        "markers must account for exactly the dropped events"
+    );
+}
