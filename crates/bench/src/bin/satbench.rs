@@ -15,7 +15,14 @@
 //!
 //! Flags: `--sizes A,B` (default `4,6`), `--out PATH` (default
 //! `BENCH_satbench.json`; `--smoke` defaults to stdout only),
-//! `--label NAME` (recorded in the JSON).
+//! `--label NAME` (recorded in the JSON), `--search-threads N`
+//! (parallel rule search inside each saturation; default 1 = serial,
+//! 0 = one thread per CPU; recorded in the JSON so baselines at
+//! different thread counts are never compared by accident), and
+//! `--verify-serial` (after each parallel run, rerun the config at
+//! one thread and assert the saturation outcome — sizes, iteration
+//! counts, stop reasons, match totals — is identical; the benchmark
+//! doubles as the determinism oracle).
 
 use std::time::Instant;
 
@@ -145,6 +152,44 @@ fn top_rules_json(records: &[RunRecord], top_k: usize) -> Json {
     )
 }
 
+/// Panics unless the two runs of the same config reached the same
+/// saturation outcome. Wall-clock fields are deliberately ignored;
+/// everything the canonical result is derived from must match.
+fn assert_outcome_identical(parallel: &RunRecord, serial: &RunRecord) {
+    let (p, s) = (&parallel.stats, &serial.stats);
+    let outcome = |st: &SaturationStats| {
+        (
+            st.nodes_after_r1,
+            st.nodes_after_r2,
+            st.classes,
+            st.r1_stop.clone(),
+            st.r2_stop.clone(),
+            st.r1_iterations,
+            st.r2_iterations,
+            st.pruned,
+            st.total_matches,
+        )
+    };
+    assert_eq!(
+        outcome(p),
+        outcome(s),
+        "parallel search diverged from the serial oracle on {:?}",
+        parallel.cfg
+    );
+    let per_rule = |st: &SaturationStats| -> Vec<(String, usize, usize)> {
+        st.rules
+            .iter()
+            .map(|r| (r.name.clone(), r.matches, r.applications))
+            .collect()
+    };
+    assert_eq!(
+        per_rule(p),
+        per_rule(s),
+        "per-rule match/application counts diverged on {:?}",
+        parallel.cfg
+    );
+}
+
 fn main() {
     let smoke = boole_bench::arg_flag("--smoke");
     let args: Vec<String> = std::env::args().collect();
@@ -161,6 +206,10 @@ fn main() {
         .map(|s| s.trim().parse().expect("--sizes takes integers like 4,6"))
         .collect();
     let out = arg_str("--out");
+    let search_threads: usize = arg_str("--search-threads")
+        .map(|s| s.parse().expect("--search-threads takes an integer"))
+        .unwrap_or(1);
+    let verify_serial = boole_bench::arg_flag("--verify-serial");
 
     let mut p = params();
     let configs: Vec<Config> = if smoke {
@@ -189,6 +238,7 @@ fn main() {
         }
         v
     };
+    p = p.with_search_threads(search_threads);
 
     eprintln!(
         "{:>8} {:>5} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>10} {:>12}",
@@ -200,6 +250,10 @@ fn main() {
     let mut rebuild_total = 0.0;
     for cfg in configs {
         let r = run_one(cfg, &p);
+        if verify_serial {
+            let serial = run_one(cfg, &p.clone().with_search_threads(1));
+            assert_outcome_identical(&r, &serial);
+        }
         search_total += ms(r.stats.search_time);
         apply_total += ms(r.stats.apply_time);
         rebuild_total += ms(r.stats.rebuild_time);
@@ -232,6 +286,7 @@ fn main() {
         ("smoke", Json::from(smoke)),
         ("node_limit", Json::from(p.node_limit)),
         ("match_limit", Json::from(p.match_limit)),
+        ("search_threads", Json::from(p.search_threads)),
         (
             "totals",
             Json::obj([

@@ -80,6 +80,7 @@ fn main() {
             cache_capacity: jobs.max(1),
             cache_dir: None,
             telemetry: None,
+            search_threads: None,
         });
         let pool_start = Instant::now();
         let outcomes = service.run_batch(workload(jobs));

@@ -144,6 +144,15 @@ impl BooleParams {
         self
     }
 
+    /// Sets how many threads saturation's rule search fans out across
+    /// (see [`SaturateParams::search_threads`]; `1` = serial, `0` =
+    /// one per available CPU). Results are byte-identical at any
+    /// thread count.
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.saturate.search_threads = threads;
+        self
+    }
+
     /// Attaches a shared cancellation flag, plumbed through to both
     /// saturation phases and checked between pipeline phases.
     pub fn with_cancellation(mut self, flag: Arc<AtomicBool>) -> Self {

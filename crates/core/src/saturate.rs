@@ -37,6 +37,13 @@ pub struct SaturateParams {
     pub match_limit: usize,
     /// Prune redundant (commuted-duplicate) e-nodes after saturation.
     pub prune: bool,
+    /// Threads the per-iteration rule search fans out across in both
+    /// phases (`1` = serial, the determinism oracle; `0` = one per
+    /// available CPU). Any value yields byte-identical results — match
+    /// sets are merged in rule-index order before the apply phase — so
+    /// this knob is excluded from cache-key fingerprints, like the
+    /// cancel token.
+    pub search_threads: usize,
     /// Cooperative cancellation token checked by both saturation
     /// phases. Defaults to a fresh (never-cancelled) token; clone a
     /// shared token in to make the run externally killable.
@@ -54,6 +61,7 @@ impl Default for SaturateParams {
             lightweight: false,
             match_limit: 2_000,
             prune: true,
+            search_threads: 1,
             cancel: CancelToken::new(),
         }
     }
@@ -87,6 +95,14 @@ impl SaturateParams {
     /// saturation itself deterministic.
     pub fn without_time_limit(mut self) -> Self {
         self.time_limit = Self::UNBOUNDED_TIME;
+        self
+    }
+
+    /// Sets [`SaturateParams::search_threads`] (`1` = serial, `0` =
+    /// one per available CPU). Never changes results — only how many
+    /// cores the search phase uses.
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads;
         self
     }
 }
@@ -188,6 +204,7 @@ pub fn saturate_observed(
         .with_node_limit(r1_node_limit)
         .with_time_limit(params.time_limit / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
+        .with_search_threads(params.search_threads)
         .with_cancel_token(params.cancel.clone());
     if let Some(obs) = observer.clone() {
         runner1 = runner1.with_iteration_hook(move |i, it| obs("r1", i, it));
@@ -216,6 +233,7 @@ pub fn saturate_observed(
         .with_node_limit(params.node_limit)
         .with_time_limit(params.time_limit * 3 / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
+        .with_search_threads(params.search_threads)
         .with_cancel_token(params.cancel.clone());
     if let Some(obs) = observer {
         runner2 = runner2.with_iteration_hook(move |i, it| obs("r2", i, it));

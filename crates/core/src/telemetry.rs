@@ -304,10 +304,16 @@ impl EventBus {
         if s.closed {
             return;
         }
-        // Flush an outstanding drop marker first, but only if the ring
-        // has room for both the marker and the new event — otherwise
-        // the new event joins the dropped batch.
-        if s.dropped_pending > 0 && s.queue.len() + 1 < self.capacity {
+        // Flush an outstanding drop marker ahead of the incoming event
+        // whenever the ring has any room at all: the marker accounts
+        // for the seq gap immediately preceding it, so it must never
+        // be starved behind newer events. The incoming event then
+        // competes for whatever room is left (and may itself join the
+        // dropped batch). The previous `len + 1 < capacity` condition
+        // held the marker back under sustained exactly-at-capacity
+        // load, letting an event slip in ahead of the gap it should
+        // have explained.
+        if s.dropped_pending > 0 && s.queue.len() < self.capacity {
             let count = std::mem::take(&mut s.dropped_pending);
             let seq = s.next_seq;
             s.next_seq += 1;
@@ -700,6 +706,43 @@ mod tests {
         // continues the sequence.
         assert_eq!(events.len(), 1);
         assert_gapless(&events);
+    }
+
+    #[test]
+    fn sustained_at_capacity_load_flushes_the_marker_ahead_of_new_events() {
+        // Repeated fill-to-capacity / overflow / drain cycles, the
+        // regime in which the marker used to starve: the flush
+        // condition required room for the marker *and* the incoming
+        // event (`len + 1 < capacity`), so at `len == capacity - 1`
+        // a new event could be enqueued ahead of the gap the pending
+        // marker explains. The marker must always come first, and the
+        // accounting must stay gapless across every cycle.
+        let bus = EventBus::with_capacity(2);
+        for cycle in 0..5u64 {
+            bus.publish(EventKind::JobStarted { job: cycle * 10 });
+            bus.publish(EventKind::JobStarted {
+                job: cycle * 10 + 1,
+            });
+            bus.publish(EventKind::JobStarted {
+                job: cycle * 10 + 2,
+            }); // dropped
+            bus.publish(EventKind::JobStarted {
+                job: cycle * 10 + 3,
+            }); // dropped
+            let events = bus.drain();
+            assert_eq!(events.len(), 3, "2 events + 1 marker, cycle {cycle}");
+            assert!(
+                matches!(events[2].kind, EventKind::Dropped { count: 2 }),
+                "cycle {cycle}: {:?}",
+                seqs(&events)
+            );
+            assert_gapless(&events);
+            // A marker in the stream must never be preceded by an
+            // event published *after* the drops it accounts for.
+            let marker_seq = events[2].seq;
+            assert!(events[..2].iter().all(|e| e.seq < marker_seq - 2));
+        }
+        assert_eq!(bus.dropped_total(), 10);
     }
 
     #[test]

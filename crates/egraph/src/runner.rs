@@ -2,7 +2,7 @@
 //! statistics.
 
 use std::fmt;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -89,6 +89,11 @@ pub struct Iteration {
     pub rebuild_time: Duration,
     /// Unions performed by congruence repair during rebuild.
     pub n_rebuilds: usize,
+    /// Rules *not* searched this iteration because the time limit or a
+    /// cancel request tripped mid-search. Skipped rules contribute no
+    /// matches and leave their [`RuleProfile`]s untouched, so per-rule
+    /// accounting only reflects searches that actually ran.
+    pub rules_skipped: usize,
 }
 
 /// Limits configuring a [`Runner`].
@@ -114,13 +119,25 @@ impl Default for RunnerLimits {
 
 /// Controls how often each rule is searched — the hook that implements
 /// backoff scheduling.
-pub trait RewriteScheduler<L: Language, N: Analysis<L>> {
+///
+/// The protocol is split into a read-only search and a mutable
+/// post-merge accounting step so the runner can fan
+/// [`RewriteScheduler::search_rewrite`] calls out across threads (the
+/// search phase only reads the e-graph): every rule of an iteration is
+/// searched first, then [`RewriteScheduler::finish_rewrite`] runs
+/// serially in rule-index order over the collected results. The split
+/// is behavior-preserving because each rule only consults its own
+/// stats, and a ban recorded during iteration `i` cannot start before
+/// iteration `i + 1`. `Send + Sync` is a supertrait so scheduler
+/// objects can be shared with the search workers.
+pub trait RewriteScheduler<L: Language, N: Analysis<L>>: Send + Sync {
     /// Searches `rewrite` during `iteration`, possibly skipping or
     /// truncating matches. `cancel` is the runner's cancellation
     /// token; implementations should thread it into the search so a
-    /// request interrupts even a single explosive rule.
+    /// request interrupts even a single explosive rule. Takes `&self`:
+    /// the runner may call this concurrently for different rules.
     fn search_rewrite(
-        &mut self,
+        &self,
         iteration: usize,
         egraph: &EGraph<L, N>,
         rewrite: &Rewrite<L, N>,
@@ -130,6 +147,22 @@ pub trait RewriteScheduler<L: Language, N: Analysis<L>> {
         rewrite
             .searcher()
             .search_with_limit_and_token(egraph, usize::MAX, cancel)
+    }
+
+    /// Records the outcome of one rule's search and returns the match
+    /// set the apply phase should use (possibly discarding it — e.g. a
+    /// backoff ban). Called exactly once per searched rule per
+    /// iteration, serially, in rule-index order — regardless of how
+    /// many threads ran the searches — so scheduler state updates stay
+    /// deterministic.
+    fn finish_rewrite(
+        &mut self,
+        iteration: usize,
+        rewrite: &Rewrite<L, N>,
+        matches: Vec<SearchMatches>,
+    ) -> Vec<SearchMatches> {
+        let _ = (iteration, rewrite);
+        matches
     }
 
     /// Returns `true` if saturation can be trusted (no rule was banned
@@ -186,6 +219,17 @@ impl BackoffScheduler {
             ban_length: self.default_ban_length,
         })
     }
+
+    /// Read-only view of a rule's current (banned_until, allowed match
+    /// budget) — for the concurrent search phase, which must not touch
+    /// the stats table. Absent entries read as the defaults
+    /// `rule_stats` would install.
+    fn limits(&self, name: Symbol) -> (usize, usize) {
+        match self.stats.get(&name) {
+            Some(s) => (s.banned_until, s.match_limit << s.times_banned),
+            None => (0, self.default_match_limit),
+        }
+    }
 }
 
 impl Default for BackoffScheduler {
@@ -196,25 +240,35 @@ impl Default for BackoffScheduler {
 
 impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for BackoffScheduler {
     fn search_rewrite(
-        &mut self,
+        &self,
         iteration: usize,
         egraph: &EGraph<L, N>,
         rewrite: &Rewrite<L, N>,
         cancel: &CancelToken,
     ) -> Vec<SearchMatches> {
-        // One stats-table lookup per rule per iteration: the entry
-        // stays borrowed across the search (which only touches the
-        // e-graph), instead of being re-fetched to record the outcome.
+        let (banned_until, allowed) = self.limits(rewrite.name());
+        if iteration < banned_until {
+            return vec![];
+        }
+        // Bounded search: an explosive rule costs at most `allowed`
+        // substitutions before `finish_rewrite` bans it.
+        rewrite
+            .searcher()
+            .search_with_limit_and_token(egraph, allowed, cancel)
+    }
+
+    fn finish_rewrite(
+        &mut self,
+        iteration: usize,
+        rewrite: &Rewrite<L, N>,
+        matches: Vec<SearchMatches>,
+    ) -> Vec<SearchMatches> {
         let stats = self.rule_stats(rewrite.name());
         if iteration < stats.banned_until {
+            // The search phase saw the same ban and returned nothing.
             return vec![];
         }
         let allowed = stats.match_limit << stats.times_banned;
-        // Bounded search: an explosive rule costs at most `allowed`
-        // substitutions before it gets banned.
-        let matches = rewrite
-            .searcher()
-            .search_with_limit_and_token(egraph, allowed, cancel);
         let total: usize = matches.iter().map(|m| m.substs.len()).sum();
         if total > allowed {
             let ban = stats.ban_length << stats.times_banned;
@@ -260,6 +314,7 @@ pub struct Runner<L: Language, N: Analysis<L> = ()> {
     scheduler: Box<dyn RewriteScheduler<L, N>>,
     cancel: CancelToken,
     iteration_hook: Option<IterationHook>,
+    search_threads: usize,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
@@ -293,6 +348,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             scheduler: Box::new(BackoffScheduler::default()),
             cancel: CancelToken::new(),
             iteration_hook: None,
+            search_threads: 1,
         }
     }
 
@@ -362,11 +418,36 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Sets how many threads the per-iteration rule search fans out
+    /// across. `1` (the default) searches serially on the calling
+    /// thread — the determinism oracle; `0` means one thread per
+    /// available CPU. Any value produces identical results: the search
+    /// phase is read-only over the e-graph, and the match sets are
+    /// merged (and scheduler state updated) in rule-index order before
+    /// the apply phase, so batch output is byte-identical to serial.
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads;
+        self
+    }
+
     /// Runs saturation with `rules` until a stop condition; returns
     /// `self` with statistics filled in.
-    pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self {
+    pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self
+    where
+        L: Sync,
+        L::Discriminant: Sync,
+        N: Sync,
+        N::Data: Sync,
+    {
         let start = Instant::now();
         self.egraph.rebuild();
+        let threads = match self.search_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(rules.len().max(1));
         for iteration in 0..self.limits.iter_limit {
             if self.cancel.is_cancelled() {
                 self.stop_reason = Some(StopReason::Cancelled);
@@ -375,21 +456,34 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             let iter_start = Instant::now();
             // Search phase (time limit and cancellation enforced per
             // rule, not only per iteration, so one explosive rule
-            // cannot stall the run or delay a cancel request).
+            // cannot stall the run or delay a cancel request). The
+            // searches only read the e-graph; scheduler state and
+            // profiles are updated afterwards, serially, in rule-index
+            // order, so the fan-out below never changes results.
+            let searched = if threads > 1 {
+                self.search_parallel(rules, iteration, start, threads)
+            } else {
+                self.search_serial(rules, iteration, start)
+            };
+
             let mut all_matches = Vec::with_capacity(rules.len());
-            for rule in rules {
-                if start.elapsed() > self.limits.time_limit || self.cancel.is_cancelled() {
-                    all_matches.push(vec![]);
-                    continue;
+            let mut rules_skipped = 0usize;
+            for (rule, slot) in rules.iter().zip(searched) {
+                match slot {
+                    Some((matches, elapsed)) => {
+                        let matches = self.scheduler.finish_rewrite(iteration, rule, matches);
+                        let profile = self.rule_profiles.entry(rule.name()).or_default();
+                        profile.search_time += elapsed;
+                        profile.matches += matches.iter().map(|m| m.substs.len()).sum::<usize>();
+                        all_matches.push(matches);
+                    }
+                    // Skipped by a mid-search time-limit/cancel trip:
+                    // no matches, and the rule's profile is untouched.
+                    None => {
+                        rules_skipped += 1;
+                        all_matches.push(vec![]);
+                    }
                 }
-                let rule_start = Instant::now();
-                let matches =
-                    self.scheduler
-                        .search_rewrite(iteration, &self.egraph, rule, &self.cancel);
-                let profile = self.rule_profiles.entry(rule.name()).or_default();
-                profile.search_time += rule_start.elapsed();
-                profile.matches += matches.iter().map(|m| m.substs.len()).sum::<usize>();
-                all_matches.push(matches);
             }
             let total_matches = all_matches.iter().flatten().map(|m| m.substs.len()).sum();
             let search_time = iter_start.elapsed();
@@ -435,6 +529,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 apply_time,
                 rebuild_time,
                 n_rebuilds,
+                rules_skipped,
             });
             if let Some(hook) = &self.iteration_hook {
                 hook(iteration, self.iterations.last().unwrap());
@@ -459,6 +554,90 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         }
         self.stop_reason = Some(StopReason::IterLimit(self.limits.iter_limit));
         self
+    }
+
+    /// Serial search phase: one rule at a time on the calling thread.
+    /// Breaks out as soon as the time limit or a cancel request trips —
+    /// the remaining rules stay `None` (skipped), instead of being
+    /// scanned just to push empty match vecs.
+    fn search_serial(
+        &self,
+        rules: &[Rewrite<L, N>],
+        iteration: usize,
+        start: Instant,
+    ) -> Vec<Option<(Vec<SearchMatches>, Duration)>> {
+        let mut searched: Vec<Option<(Vec<SearchMatches>, Duration)>> = Vec::new();
+        searched.resize_with(rules.len(), || None);
+        for (slot, rule) in searched.iter_mut().zip(rules) {
+            if start.elapsed() > self.limits.time_limit || self.cancel.is_cancelled() {
+                break;
+            }
+            let rule_start = Instant::now();
+            let matches =
+                self.scheduler
+                    .search_rewrite(iteration, &self.egraph, rule, &self.cancel);
+            *slot = Some((matches, rule_start.elapsed()));
+        }
+        searched
+    }
+
+    /// Parallel search phase: `threads` scoped workers pull rule
+    /// indices from a shared atomic counter (work stealing — rule
+    /// costs vary by orders of magnitude) and search against the
+    /// shared immutable e-graph. Results land in per-rule slots, so
+    /// the caller's merge runs in rule-index order no matter which
+    /// worker searched what. Each worker checks the time limit and the
+    /// cancel token before every rule it claims.
+    fn search_parallel(
+        &self,
+        rules: &[Rewrite<L, N>],
+        iteration: usize,
+        start: Instant,
+        threads: usize,
+    ) -> Vec<Option<(Vec<SearchMatches>, Duration)>>
+    where
+        L: Sync,
+        L::Discriminant: Sync,
+        N: Sync,
+        N::Data: Sync,
+    {
+        let next = AtomicUsize::new(0);
+        let egraph = &self.egraph;
+        let scheduler = &*self.scheduler;
+        let cancel = &self.cancel;
+        let time_limit = self.limits.time_limit;
+        let mut searched: Vec<Option<(Vec<SearchMatches>, Duration)>> = Vec::new();
+        searched.resize_with(rules.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut found = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= rules.len() {
+                                break;
+                            }
+                            if start.elapsed() > time_limit || cancel.is_cancelled() {
+                                break;
+                            }
+                            let rule_start = Instant::now();
+                            let matches =
+                                scheduler.search_rewrite(iteration, egraph, &rules[i], cancel);
+                            found.push((i, matches, rule_start.elapsed()));
+                        }
+                        found
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, matches, elapsed) in handle.join().expect("search worker panicked") {
+                    searched[i] = Some((matches, elapsed));
+                }
+            }
+        });
+        searched
     }
 }
 
@@ -567,6 +746,113 @@ mod tests {
             .run(&phase2);
         let x = r2.egraph.lookup(&SymbolLang::leaf("x")).unwrap();
         assert_eq!(r2.egraph.find(roots[0]), r2.egraph.find(x));
+    }
+
+    #[test]
+    fn expired_time_limit_skips_search_and_leaves_profiles_untouched() {
+        let expr = "(+ a (+ b (+ c d)))".parse().unwrap();
+        let rules = math_rules();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_time_limit(Duration::ZERO)
+            .run(&rules);
+        assert!(matches!(runner.stop_reason, Some(StopReason::TimeLimit(_))));
+        assert_eq!(runner.iterations.len(), 1);
+        // The search loop must break out, not scan the remaining rules:
+        // every rule counts as skipped and none acquires a profile.
+        assert_eq!(runner.iterations[0].rules_skipped, rules.len());
+        assert_eq!(runner.iterations[0].total_matches, 0);
+        assert!(runner.rule_profiles.is_empty());
+    }
+
+    #[test]
+    fn parallel_search_is_identical_to_serial() {
+        let expr: RecExpr<SymbolLang> = "(* (+ a (+ b (+ c (+ d 0)))) 1)".parse().unwrap();
+        // A tight backoff so bans actually fire: the parallel merge
+        // must reproduce the serial ban schedule exactly.
+        let run_with = |threads: usize| {
+            Runner::default()
+                .with_expr(&expr)
+                .with_scheduler(BackoffScheduler::new(4, 2))
+                .with_iter_limit(12)
+                .with_node_limit(20_000)
+                .with_search_threads(threads)
+                .run(&math_rules())
+        };
+        let serial = run_with(1);
+        for threads in [2, 4, 7] {
+            let par = run_with(threads);
+            assert_eq!(par.stop_reason, serial.stop_reason, "threads={threads}");
+            assert_eq!(par.iterations.len(), serial.iterations.len());
+            for (p, s) in par.iterations.iter().zip(&serial.iterations) {
+                assert_eq!(p.egraph_nodes, s.egraph_nodes);
+                assert_eq!(p.egraph_classes, s.egraph_classes);
+                assert_eq!(p.applied, s.applied);
+                assert_eq!(p.total_matches, s.total_matches);
+                assert_eq!(p.rules_skipped, 0);
+            }
+            assert_eq!(
+                par.egraph.total_number_of_nodes(),
+                serial.egraph.total_number_of_nodes()
+            );
+            assert_eq!(par.egraph.num_classes(), serial.egraph.num_classes());
+            let (serial_cost, serial_best) =
+                Extractor::new(&serial.egraph, AstSize).find_best(serial.roots[0]);
+            let (par_cost, par_best) = Extractor::new(&par.egraph, AstSize).find_best(par.roots[0]);
+            assert_eq!(par_cost, serial_cost);
+            assert_eq!(par_best.to_string(), serial_best.to_string());
+        }
+    }
+
+    /// Cancels the shared token partway through an iteration's search
+    /// phase (after `after` rule searches), from inside a worker.
+    struct CancelMidSearch {
+        token: crate::CancelToken,
+        after: usize,
+        searches: AtomicUsize,
+    }
+
+    impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for CancelMidSearch {
+        fn search_rewrite(
+            &self,
+            _iteration: usize,
+            egraph: &EGraph<L, N>,
+            rewrite: &Rewrite<L, N>,
+            cancel: &CancelToken,
+        ) -> Vec<SearchMatches> {
+            if self.searches.fetch_add(1, Ordering::Relaxed) + 1 >= self.after {
+                self.token.cancel();
+            }
+            rewrite
+                .searcher()
+                .search_with_limit_and_token(egraph, usize::MAX, cancel)
+        }
+    }
+
+    #[test]
+    fn parallel_mid_search_cancellation_stops_the_run() {
+        let token = crate::CancelToken::new();
+        let expr = "(+ a (+ b (+ c (+ d (+ e f)))))".parse().unwrap();
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_scheduler(CancelMidSearch {
+                token: token.clone(),
+                after: 2,
+                searches: AtomicUsize::new(0),
+            })
+            .with_iter_limit(50)
+            .with_node_limit(1_000_000)
+            .with_cancellation(token.flag())
+            .with_search_threads(4)
+            .run(&math_rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Cancelled));
+        assert!(runner.iterations.len() <= 1);
+        if let Some(iter) = runner.iterations.first() {
+            // At least the rules claimed after the trip were skipped
+            // (workers check the token before every claim, so with 7
+            // rules and a trip after 2 searches some must remain).
+            assert!(iter.rules_skipped > 0, "expected skipped rules");
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!
 //! options (interleave freely with positional arguments):
 //!   --workers N        worker threads (default: min(cpus, 4))
+//!   --search-threads N threads for each job's in-saturation rule search
+//!                      (default 1 = serial; 0 = one per CPU; results are
+//!                      byte-identical at any value, works with --serial too)
 //!   --serial           run inline on one thread, bypassing the pool and cache
 //!   --deadline-ms N    per-job deadline; expired jobs are cancelled
 //!   --params P         default | small | lightweight
@@ -57,6 +60,7 @@ impl TelemetrySinkArg {
 
 struct Options {
     workers: Option<usize>,
+    search_threads: Option<usize>,
     serial: bool,
     deadline: Option<Duration>,
     params: BooleParams,
@@ -74,6 +78,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
     let mut opts = Options {
         workers: None,
+        search_threads: None,
         serial: false,
         deadline: None,
         params: BooleParams::default(),
@@ -91,6 +96,14 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
             "--workers" => {
                 let v = args.get(i + 1).ok_or("--workers needs a value")?;
                 opts.workers = Some(v.parse().map_err(|e| format!("bad --workers: {e}"))?);
+                i += 2;
+            }
+            "--search-threads" => {
+                let v = args.get(i + 1).ok_or("--search-threads needs a value")?;
+                opts.search_threads = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --search-threads: {e}"))?,
+                );
                 i += 2;
             }
             "--deadline-ms" => {
@@ -179,7 +192,13 @@ fn make_spec(source_spec: JobSpec, opts: &Options) -> JobSpec {
     // Service mode bounds runtime with per-job deadlines, not the
     // pipeline's wall-clock limit: wall-clock stops vary with machine
     // load, which would make results non-reproducible and cache-hostile.
-    let mut spec = source_spec.with_params(opts.params.clone().without_time_limit());
+    let mut params = opts.params.clone().without_time_limit();
+    if let Some(threads) = opts.search_threads {
+        // Per-spec, not via ServiceConfig, so --serial (which bypasses
+        // the service) honors the flag identically.
+        params = params.with_search_threads(threads);
+    }
+    let mut spec = source_spec.with_params(params);
     if let Some(deadline) = opts.deadline {
         spec = spec.with_deadline(deadline);
     }
@@ -291,7 +310,8 @@ fn usage() -> String {
     "usage: boole <run <netlist> | batch <dir> | gen <spec>...> [options]\n\
      netlists: .aag (ASCII AIGER), .aig (binary AIGER), .blif, .v (structural Verilog);\n\
      \x20         batch mixes formats freely\n\
-     options: --workers N --serial --deadline-ms N --params default|small|lightweight\n\
+     options: --workers N --search-threads N --serial --deadline-ms N\n\
+     \x20        --params default|small|lightweight\n\
      \x20        --cache-dir DIR --no-cache --no-timing --compact\n\
      \x20        --events -|FILE (NDJSON event stream) --metrics -|FILE (final snapshot;\n\
      \x20        a - sink shares stdout with the result document and needs --compact)\n\
@@ -492,6 +512,32 @@ mod tests {
                 .unwrap()
                 .contains("--no-cache")
         );
+    }
+
+    #[test]
+    fn search_threads_flag_parses_and_composes_with_serial() {
+        let (opts, positional) = parse_args(&strings(&["csa:4", "--search-threads", "4"])).unwrap();
+        assert_eq!(opts.search_threads, Some(4));
+        assert_eq!(positional, strings(&["csa:4"]));
+
+        // `0` is meaningful (one thread per CPU), not an error.
+        let (opts, _) = parse_args(&strings(&["--search-threads", "0"])).unwrap();
+        assert_eq!(opts.search_threads, Some(0));
+
+        // --serial disables the job *scheduler*; in-saturation search
+        // parallelism is orthogonal and stays available.
+        let (opts, _) = parse_args(&strings(&["--serial", "--search-threads", "2"])).unwrap();
+        assert!(opts.serial);
+        assert_eq!(opts.search_threads, Some(2));
+
+        assert!(parse_args(&strings(&["--search-threads"]))
+            .err()
+            .unwrap()
+            .contains("needs a value"));
+        assert!(parse_args(&strings(&["--search-threads", "x"]))
+            .err()
+            .unwrap()
+            .contains("bad --search-threads"));
     }
 
     #[test]

@@ -112,7 +112,11 @@ pub fn fingerprint_aig(aig: &Aig) -> Fingerprint {
 ///
 /// The cancellation token is deliberately excluded: two submissions of
 /// the same netlist with the same tuning must share a cache entry even
-/// though each job carries its own token.
+/// though each job carries its own token. `search_threads` is excluded
+/// for the same reason — saturation results are byte-identical at any
+/// thread count (the parallel search merges match sets in rule-index
+/// order before applying), so a result computed at 8 threads must
+/// answer a later 1-thread submission from cache.
 pub fn fingerprint_params(params: &BooleParams) -> u64 {
     let s = &params.saturate;
     let mut h = splitmix(0xB001_E9A2_A115_5EED);
@@ -264,5 +268,16 @@ mod tests {
         assert_eq!(fingerprint_params(&base), fingerprint_params(&with_token));
         let light = BooleParams::lightweight();
         assert_ne!(fingerprint_params(&base), fingerprint_params(&light));
+    }
+
+    #[test]
+    fn params_fingerprint_ignores_search_threads() {
+        // Same netlist, same tuning, different core counts: results
+        // are byte-identical, so the cache key must match too.
+        let base = BooleParams::small();
+        for threads in [0, 2, 8] {
+            let parallel = BooleParams::small().with_search_threads(threads);
+            assert_eq!(fingerprint_params(&base), fingerprint_params(&parallel));
+        }
     }
 }

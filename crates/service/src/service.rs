@@ -7,7 +7,7 @@ use std::collections::BinaryHeap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,14 @@ pub struct ServiceConfig {
     /// default) makes every telemetry site a no-op; attaching a sink
     /// never changes job results (telemetry is strictly out-of-band).
     pub telemetry: Option<TelemetrySink>,
+    /// When set, every accepted job's saturation search fans out
+    /// across this many threads (`0` = one per available CPU),
+    /// overriding whatever the spec's params carry — an operator
+    /// policy knob, like the worker count. `None` (the default)
+    /// leaves each spec's own `SaturateParams.search_threads` alone.
+    /// Results are byte-identical at any setting, so this never
+    /// affects cache keys or reproducibility.
+    pub search_threads: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +65,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             cache_dir: None,
             telemetry: None,
+            search_threads: None,
         }
     }
 }
@@ -77,6 +86,14 @@ impl ServiceConfig {
     /// Attaches a telemetry hub (event bus + metrics registry).
     pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Fans every job's saturation search across `threads` threads
+    /// (`0` = one per available CPU). See
+    /// [`ServiceConfig::search_threads`].
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = Some(threads);
         self
     }
 }
@@ -155,6 +172,16 @@ struct JobCell {
     outcome: Option<Arc<JobOutcome>>,
 }
 
+/// Locks a mutex, recovering from poisoning. The job cell, the flight
+/// slot, and the flights table all hold plain state (enums, `Arc`s, a
+/// map) that is valid after any partial update, and a panicking waiter
+/// or pipeline must not turn every later `wait()` into a cascading
+/// panic — one failed job may not take down the handles of every
+/// other job parked on the same primitive.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Shared per-job record: the handle, the queue entry, and the
 /// watchdog all point at one of these.
 struct JobState {
@@ -168,15 +195,11 @@ struct JobState {
 
 impl JobState {
     fn is_terminal(&self) -> bool {
-        self.cell
-            .lock()
-            .expect("job cell poisoned")
-            .status
-            .is_terminal()
+        lock_recover(&self.cell).status.is_terminal()
     }
 
     fn set_status(&self, status: JobStatus) {
-        let mut cell = self.cell.lock().expect("job cell poisoned");
+        let mut cell = lock_recover(&self.cell);
         if !cell.status.is_terminal() {
             cell.status = status;
         }
@@ -190,7 +213,7 @@ impl JobState {
             from_cache,
             service_time: self.submitted_at.elapsed(),
         });
-        let mut cell = self.cell.lock().expect("job cell poisoned");
+        let mut cell = lock_recover(&self.cell);
         cell.status = outcome.status();
         cell.outcome = Some(Arc::clone(&outcome));
         self.done.notify_all();
@@ -216,12 +239,7 @@ impl JobHandle {
 
     /// Current lifecycle status.
     pub fn status(&self) -> JobStatus {
-        self.state
-            .cell
-            .lock()
-            .expect("job cell poisoned")
-            .status
-            .clone()
+        lock_recover(&self.state.cell).status.clone()
     }
 
     /// Requests cooperative cancellation. Running pipelines stop at
@@ -233,19 +251,23 @@ impl JobHandle {
 
     /// Blocks until the job reaches a terminal state.
     pub fn wait(&self) -> Arc<JobOutcome> {
-        let mut cell = self.state.cell.lock().expect("job cell poisoned");
+        let mut cell = lock_recover(&self.state.cell);
         loop {
             if let Some(outcome) = &cell.outcome {
                 return Arc::clone(outcome);
             }
-            cell = self.state.done.wait(cell).expect("job cell poisoned");
+            cell = self
+                .state
+                .done
+                .wait(cell)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Like [`JobHandle::wait`] with a timeout; `None` on timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<JobOutcome>> {
         let deadline = Instant::now() + timeout;
-        let mut cell = self.state.cell.lock().expect("job cell poisoned");
+        let mut cell = lock_recover(&self.state.cell);
         loop {
             if let Some(outcome) = &cell.outcome {
                 return Some(Arc::clone(outcome));
@@ -255,7 +277,7 @@ impl JobHandle {
                 .state
                 .done
                 .wait_timeout(cell, remaining)
-                .expect("job cell poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             cell = next;
             if timed_out.timed_out() && cell.outcome.is_none() {
                 return None;
@@ -320,7 +342,7 @@ impl InFlight {
     }
 
     fn publish(&self, result: Option<Arc<ResultSummary>>) {
-        *self.slot.lock().expect("flight poisoned") = Some(result);
+        *lock_recover(&self.slot) = Some(result);
         self.done.notify_all();
     }
 
@@ -328,7 +350,7 @@ impl InFlight {
     /// follower with an expired deadline resolves as cancelled instead
     /// of waiting out a slow leader.
     fn wait(&self, cancel: &CancelToken) -> FlightWait {
-        let mut slot = self.slot.lock().expect("flight poisoned");
+        let mut slot = lock_recover(&self.slot);
         loop {
             if let Some(published) = slot.as_ref() {
                 return match published {
@@ -342,7 +364,7 @@ impl InFlight {
             let (next, _) = self
                 .done
                 .wait_timeout(slot, Duration::from_millis(10))
-                .expect("flight poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             slot = next;
         }
     }
@@ -375,11 +397,7 @@ impl FlightGuard<'_> {
         // Remove-then-publish: a job arriving after the removal misses
         // the flight and consults the cache, which the leader filled
         // before calling complete().
-        self.shared
-            .flights
-            .lock()
-            .expect("flights poisoned")
-            .remove(&self.key);
+        lock_recover(&self.shared.flights).remove(&self.key);
         self.flight.publish(result);
     }
 }
@@ -423,6 +441,7 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+    search_threads: Option<usize>,
 }
 
 impl Service {
@@ -476,15 +495,20 @@ impl Service {
             workers,
             watchdog: Some(watchdog),
             next_id: AtomicU64::new(1),
+            search_threads: config.search_threads,
         }
     }
 
     /// Builds the job record and installs the per-job token in the
-    /// spec's params (replacing any token the caller left there).
+    /// spec's params (replacing any token the caller left there),
+    /// plus the service-wide search-thread override, if configured.
     fn make_state(&self, spec: &mut JobSpec) -> Arc<JobState> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = CancelToken::new();
         spec.params = std::mem::take(&mut spec.params).with_cancel_token(cancel.clone());
+        if let Some(threads) = self.search_threads {
+            spec.params.saturate.search_threads = threads;
+        }
         Arc::new(JobState {
             id,
             label: spec.label.clone(),
@@ -739,7 +763,7 @@ enum FlightRole<'a> {
 }
 
 fn join_or_lead<'a>(shared: &'a Shared, key: CacheKey) -> FlightRole<'a> {
-    let mut flights = shared.flights.lock().expect("flights poisoned");
+    let mut flights = lock_recover(&shared.flights);
     match flights.get(&key) {
         Some(flight) => FlightRole::Follower(Arc::clone(flight)),
         None => {
@@ -846,6 +870,21 @@ fn execute_job(
             .counters
             .pipelines_run
             .fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(telemetry) = telemetry {
+        // Resolved thread count of the pipeline about to run (0 means
+        // one per CPU), so dashboards can correlate search_ms drops
+        // with the parallelism actually in effect.
+        let threads = match spec.params.saturate.search_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        telemetry
+            .metrics
+            .gauge("search_threads")
+            .set(threads as i64);
     }
     let progress = Arc::clone(state);
     let phase_sink = telemetry.cloned();
@@ -1014,4 +1053,68 @@ pub fn run_spec_serial_observed(
         telemetry.metrics.gauge("in_flight_jobs").add(-1);
     }
     outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobVerdict;
+
+    fn fresh_state() -> Arc<JobState> {
+        Arc::new(JobState {
+            id: 1,
+            label: "poison-test".to_owned(),
+            cancel: CancelToken::new(),
+            cell: Mutex::new(JobCell {
+                status: JobStatus::Queued,
+                outcome: None,
+            }),
+            done: Condvar::new(),
+            submitted_at: Instant::now(),
+        })
+    }
+
+    /// Panics while holding the lock, from a scoped thread, leaving
+    /// the mutex poisoned.
+    fn poison<T: Send>(mutex: &Mutex<T>) {
+        std::thread::scope(|scope| {
+            let result = scope
+                .spawn(|| {
+                    let _guard = mutex.lock().unwrap();
+                    panic!("poisoning the lock on purpose");
+                })
+                .join();
+            assert!(result.is_err());
+        });
+        assert!(mutex.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_job_cell_recovers_instead_of_cascading() {
+        let state = fresh_state();
+        poison(&state.cell);
+        let handle = JobHandle {
+            state: Arc::clone(&state),
+        };
+        // Every access used to `.expect("job cell poisoned")`: one
+        // panicking waiter turned all of these into panics too.
+        assert!(matches!(handle.status(), JobStatus::Queued));
+        assert!(!state.is_terminal());
+        state.set_status(JobStatus::Running(None));
+        let outcome = state.finalize(JobVerdict::Failed("boom".to_owned()), false);
+        assert!(outcome.status().is_terminal());
+        assert!(matches!(handle.wait().verdict, JobVerdict::Failed(_)));
+        assert!(handle.wait_timeout(Duration::from_millis(50)).is_some());
+    }
+
+    #[test]
+    fn poisoned_flight_slot_still_publishes_and_wakes_waiters() {
+        let flight = InFlight::new();
+        poison(&flight.slot);
+        flight.publish(None);
+        assert!(matches!(
+            flight.wait(&CancelToken::new()),
+            FlightWait::LeaderGone
+        ));
+    }
 }

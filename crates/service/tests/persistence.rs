@@ -23,6 +23,7 @@ fn config(cache_dir: &std::path::Path) -> ServiceConfig {
         cache_capacity: 8,
         cache_dir: Some(cache_dir.to_path_buf()),
         telemetry: None,
+        search_threads: None,
     }
 }
 

@@ -40,6 +40,7 @@ fn four_worker_batch_matches_serial_byte_for_byte() {
         cache_capacity: 64,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let concurrent = service.run_batch(mixed_specs());
     let stats = service.shutdown();
@@ -81,6 +82,7 @@ fn duplicate_netlists_serialize_identically_across_modes() {
         cache_capacity: 4,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let concurrent = service.run_batch(specs());
     service.shutdown();
@@ -88,6 +90,51 @@ fn duplicate_netlists_serialize_identically_across_modes() {
     for (c, s) in concurrent.iter().zip(&serial) {
         assert_eq!(c.to_json().to_string(), s.to_json().to_string());
     }
+}
+
+#[test]
+fn search_threads_never_change_the_canonical_result_json() {
+    // The parallel in-saturation rule search must be invisible in the
+    // result document: whatever thread count the operator configures,
+    // the canonical JSON stays byte-identical to the serial oracle's.
+    let spec = |threads: Option<usize>| {
+        let mut params = BooleParams::small().without_time_limit();
+        if let Some(threads) = threads {
+            params = params.with_search_threads(threads);
+        }
+        JobSpec::generated(GenSpec::parse("wallace:4").unwrap()).with_params(params)
+    };
+    let oracle = run_spec_serial(spec(None));
+    let oracle_json = oracle.to_json().to_string();
+    assert!(oracle.summary().is_some(), "oracle job failed");
+
+    // Via the per-spec knob on the serial path.
+    for threads in [2, 5] {
+        let parallel = run_spec_serial(spec(Some(threads)));
+        assert_eq!(
+            parallel.to_json().to_string(),
+            oracle_json,
+            "per-spec search_threads={threads} changed the result JSON"
+        );
+    }
+
+    // Via the service-wide operator override.
+    let service = Service::new(ServiceConfig {
+        num_workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+        cache_dir: None,
+        telemetry: None,
+        search_threads: Some(3),
+    });
+    let outcome = service.submit(spec(None)).wait();
+    service.shutdown();
+    assert!(!outcome.from_cache);
+    assert_eq!(
+        outcome.to_json().to_string(),
+        oracle_json,
+        "ServiceConfig::search_threads changed the result JSON"
+    );
 }
 
 #[test]
@@ -110,6 +157,7 @@ fn resubmitted_netlist_is_answered_from_cache_without_saturation() {
         cache_capacity: 8,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let spec =
         || JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small());
@@ -164,6 +212,7 @@ fn cold_cache_stampede_runs_saturation_exactly_once() {
         cache_capacity: 16,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let specs: Vec<JobSpec> = (0..6)
         .map(|_| {
@@ -200,6 +249,7 @@ fn cancelled_leader_does_not_strand_coalesced_followers() {
         cache_capacity: 16,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let spec = || {
         JobSpec::generated(GenSpec::parse("csa:5").unwrap())
@@ -230,6 +280,7 @@ fn one_ms_deadline_cancels_cooperatively_without_poisoning_the_pool() {
         cache_capacity: 8,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     // csa:8 saturates for many seconds under default params; a 1 ms
     // deadline must kill it long before that.
@@ -265,6 +316,7 @@ fn explicit_cancel_stops_a_large_job_mid_saturation() {
         cache_capacity: 4,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     // Give the job a huge budget so only cancellation can stop it soon.
     let params = BooleParams {
@@ -315,6 +367,7 @@ fn queued_jobs_cancel_before_running() {
         cache_capacity: 8,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let blocker = service.submit(
         JobSpec::generated(GenSpec::parse("csa:6").unwrap()).with_params(BooleParams::default()),
@@ -341,6 +394,7 @@ fn failed_sources_are_reported_not_panicked() {
         cache_capacity: 4,
         cache_dir: None,
         telemetry: None,
+        search_threads: None,
     });
     let missing = service.submit(JobSpec::aag_file("/nonexistent/never.aag"));
     let outcome = missing.wait();
