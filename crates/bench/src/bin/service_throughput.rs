@@ -81,6 +81,7 @@ fn main() {
             cache_dir: None,
             telemetry: None,
             search_threads: None,
+            ..ServiceConfig::default()
         });
         let pool_start = Instant::now();
         let outcomes = service.run_batch(workload(jobs));

@@ -120,6 +120,16 @@ pub enum EventKind {
         /// The I/O error, rendered.
         message: String,
     },
+    /// A job's transient failure is being retried after a backoff
+    /// delay (the service's bounded-retry policy).
+    JobRetry {
+        /// Service-assigned job id.
+        job: u64,
+        /// One-based retry attempt about to run.
+        attempt: u32,
+        /// Backoff the worker slept before this attempt.
+        delay: Duration,
+    },
     /// A job reached a terminal state. Emitted exactly once per job,
     /// whatever the outcome (completed, failed, cancelled, panicked).
     JobDone {
@@ -152,6 +162,7 @@ impl EventKind {
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::CacheEvicted { .. } => "cache_evicted",
             EventKind::DiskWriteError { .. } => "disk_write_error",
+            EventKind::JobRetry { .. } => "job_retry",
             EventKind::JobDone { .. } => "job_done",
             EventKind::Dropped { .. } => "dropped",
         }
@@ -229,6 +240,18 @@ impl TelemetryEvent {
             }
             EventKind::CacheEvicted { entries } => push("entries", Json::Int(*entries as i64)),
             EventKind::DiskWriteError { message } => push("message", Json::str(message.clone())),
+            EventKind::JobRetry {
+                job,
+                attempt,
+                delay,
+            } => {
+                push("job", Json::Int(*job as i64));
+                push("attempt", Json::Int(i64::from(*attempt)));
+                push(
+                    "delay_us",
+                    Json::Int(i64::try_from(delay.as_micros()).unwrap_or(i64::MAX)),
+                );
+            }
             EventKind::JobDone {
                 job,
                 status,

@@ -631,10 +631,26 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     })
                 })
                 .collect();
+            // Join *every* worker before reacting to any panic.
+            // Unwinding out of this loop on the first Err would hit
+            // the scope's implicit join of the remaining threads; if
+            // one of those also panicked, panic-during-unwind aborts
+            // the whole process. Collect first, then re-raise one
+            // payload cleanly — the layer above (the service's
+            // per-job catch_unwind) turns it into a typed outcome.
+            let mut panicked = None;
             for handle in handles {
-                for (i, matches, elapsed) in handle.join().expect("search worker panicked") {
-                    searched[i] = Some((matches, elapsed));
+                match handle.join() {
+                    Ok(found) => {
+                        for (i, matches, elapsed) in found {
+                            searched[i] = Some((matches, elapsed));
+                        }
+                    }
+                    Err(payload) => panicked = panicked.or(Some(payload)),
                 }
+            }
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
             }
         });
         searched
@@ -852,6 +868,62 @@ mod tests {
             // (workers check the token before every claim, so with 7
             // rules and a trip after 2 searches some must remain).
             assert!(iter.rules_skipped > 0, "expected skipped rules");
+        }
+    }
+
+    /// Panics from inside one worker's rule search after `after`
+    /// searches, leaving the other workers running normally.
+    struct PanicMidSearch {
+        after: usize,
+        searches: AtomicUsize,
+    }
+
+    impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for PanicMidSearch {
+        fn search_rewrite(
+            &self,
+            _iteration: usize,
+            egraph: &EGraph<L, N>,
+            rewrite: &Rewrite<L, N>,
+            cancel: &CancelToken,
+        ) -> Vec<SearchMatches> {
+            if self.searches.fetch_add(1, Ordering::Relaxed) + 1 >= self.after {
+                panic!("scheduler exploded on purpose");
+            }
+            rewrite
+                .searcher()
+                .search_with_limit_and_token(egraph, usize::MAX, cancel)
+        }
+    }
+
+    #[test]
+    fn panicking_search_worker_propagates_its_payload_cleanly() {
+        // The join loop must collect *all* workers before re-raising:
+        // unwinding mid-join while another scoped worker has also
+        // panicked would abort the process (panic during unwind), and
+        // an aborted test binary is exactly what this guards against.
+        // Run the single- and many-thread shapes; in both, the caller
+        // must observe an unwind carrying the original payload.
+        for threads in [1, 4] {
+            let result = std::panic::catch_unwind(|| {
+                let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c (+ d (+ e f)))))".parse().unwrap();
+                Runner::default()
+                    .with_expr(&expr)
+                    .with_scheduler(PanicMidSearch {
+                        after: 2,
+                        searches: AtomicUsize::new(0),
+                    })
+                    .with_search_threads(threads)
+                    .run(&math_rules())
+            });
+            let payload = result.expect_err("the scheduler panic must propagate");
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .expect("payload should be the original &str");
+            assert_eq!(
+                message, "scheduler exploded on purpose",
+                "threads={threads}"
+            );
         }
     }
 

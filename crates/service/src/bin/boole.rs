@@ -18,6 +18,10 @@
 //!   --params P         default | small | lightweight
 //!   --cache-dir DIR    persistent result cache; hits survive across runs
 //!   --no-cache         skip the structural-hash result cache
+//!   --max-retries N    retry budget for transient failures, with
+//!                      exponential backoff (default 2)
+//!   --shed             reject jobs (terminal "rejected" outcome) instead of
+//!                      blocking when the queue is full
 //!   --no-timing        omit wall-clock fields (canonical, reproducible JSON)
 //!   --compact          one-line JSON instead of pretty-printed
 //!   --events SINK      stream job/phase/cache events as NDJSON to `-`
@@ -36,7 +40,7 @@ use boole::json::{Json, ToJson};
 use boole::telemetry::{Telemetry, TelemetrySink};
 use boole::BooleParams;
 use boole_service::{
-    run_spec_serial_observed, GenSpec, JobOutcome, JobSpec, Service, ServiceConfig,
+    run_spec_serial_observed, GenSpec, JobOutcome, JobSpec, Service, ServiceConfig, ShedPolicy,
 };
 
 /// Where a telemetry stream or snapshot goes.
@@ -70,6 +74,8 @@ struct Options {
     pretty: bool,
     events: Option<TelemetrySinkArg>,
     metrics: Option<TelemetrySinkArg>,
+    max_retries: Option<u32>,
+    shed: bool,
 }
 
 /// Parses a command's arguments into options plus the positional
@@ -88,6 +94,8 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
         pretty: true,
         events: None,
         metrics: None,
+        max_retries: None,
+        shed: false,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -126,6 +134,15 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 let v = args.get(i + 1).ok_or("--cache-dir needs a value")?;
                 opts.cache_dir = Some(PathBuf::from(v));
                 i += 2;
+            }
+            "--max-retries" => {
+                let v = args.get(i + 1).ok_or("--max-retries needs a value")?;
+                opts.max_retries = Some(v.parse().map_err(|e| format!("bad --max-retries: {e}"))?);
+                i += 2;
+            }
+            "--shed" => {
+                opts.shed = true;
+                i += 1;
             }
             "--serial" => {
                 opts.serial = true;
@@ -174,6 +191,12 @@ fn parse_args(args: &[String]) -> Result<(Options, Vec<String>), String> {
     }
     if !opts.use_cache && opts.cache_dir.is_some() {
         return Err("--no-cache disables all cache tiers; drop it or --cache-dir".to_owned());
+    }
+    if opts.serial && opts.shed {
+        return Err("--serial has no queue to shed from; drop it or --shed".to_owned());
+    }
+    if opts.serial && opts.max_retries.is_some() {
+        return Err("--serial bypasses the retrying pool; drop it or --max-retries".to_owned());
     }
     // With a `-` sink, telemetry shares stdout with the result document;
     // requiring --compact keeps stdout line-oriented (every line is one
@@ -266,6 +289,12 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> Result<(Json, bool), String> 
         if let Some(telemetry) = &telemetry {
             config = config.with_telemetry(Arc::clone(telemetry));
         }
+        if let Some(retries) = opts.max_retries {
+            config = config.with_max_retries(retries);
+        }
+        if opts.shed {
+            config = config.with_shed_policy(ShedPolicy::Shed);
+        }
         let service = Service::new(config);
         let outcomes = service.run_batch(specs);
         let stats = service.shutdown();
@@ -285,9 +314,14 @@ fn execute(specs: Vec<JobSpec>, opts: &Options) -> Result<(Json, bool), String> 
             .map_err(|e| format!("cannot write the metrics snapshot: {e}"))?;
     }
 
-    let any_failed = outcomes
-        .iter()
-        .any(|o| matches!(o.status(), boole_service::JobStatus::Failed));
+    let any_failed = outcomes.iter().any(|o| {
+        matches!(
+            o.status(),
+            boole_service::JobStatus::Failed
+                | boole_service::JobStatus::Panicked
+                | boole_service::JobStatus::Rejected
+        )
+    });
     let jobs = Json::arr(outcomes.iter().map(|outcome| {
         let mut doc = outcome.to_json();
         if opts.timing {
@@ -313,6 +347,8 @@ fn usage() -> String {
      options: --workers N --search-threads N --serial --deadline-ms N\n\
      \x20        --params default|small|lightweight\n\
      \x20        --cache-dir DIR --no-cache --no-timing --compact\n\
+     \x20        --max-retries N (transient-failure retry budget)\n\
+     \x20        --shed (reject instead of block when the queue is full)\n\
      \x20        --events -|FILE (NDJSON event stream) --metrics -|FILE (final snapshot;\n\
      \x20        a - sink shares stdout with the result document and needs --compact)\n\
      \x20        (options and positional arguments may be interleaved)\n\
@@ -538,6 +574,37 @@ mod tests {
             .err()
             .unwrap()
             .contains("bad --search-threads"));
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_conflict_with_serial() {
+        let (opts, positional) =
+            parse_args(&strings(&["csa:4", "--max-retries", "5", "--shed"])).unwrap();
+        assert_eq!(opts.max_retries, Some(5));
+        assert!(opts.shed);
+        assert_eq!(positional, strings(&["csa:4"]));
+
+        // `0` disables retries explicitly — meaningful, not an error.
+        let (opts, _) = parse_args(&strings(&["--max-retries", "0"])).unwrap();
+        assert_eq!(opts.max_retries, Some(0));
+
+        assert!(parse_args(&strings(&["--max-retries"]))
+            .err()
+            .unwrap()
+            .contains("needs a value"));
+        assert!(parse_args(&strings(&["--max-retries", "x"]))
+            .err()
+            .unwrap()
+            .contains("bad --max-retries"));
+        // The serial path has no queue and no retrying pool.
+        assert!(parse_args(&strings(&["--serial", "--shed"]))
+            .err()
+            .unwrap()
+            .contains("--serial"));
+        assert!(parse_args(&strings(&["--serial", "--max-retries", "1"]))
+            .err()
+            .unwrap()
+            .contains("--serial"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex};
 use boole::telemetry::{EventKind, TelemetrySink};
 use egraph::hash::FxHashMap;
 
+use crate::faults::{self, site, FaultAction, FaultRegistry};
 use crate::fingerprint::Fingerprint;
 use crate::job::ResultSummary;
 
@@ -57,6 +58,9 @@ pub struct ResultCache {
     /// Optional event sink notified of evictions (out-of-band; never
     /// consulted for cache decisions).
     telemetry: Option<TelemetrySink>,
+    /// Optional fault-injection registry; the `cache.insert`
+    /// failpoint fires here.
+    faults: Option<Arc<FaultRegistry>>,
 }
 
 struct CacheInner {
@@ -106,6 +110,7 @@ impl ResultCache {
                 evictions: 0,
             }),
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -113,6 +118,13 @@ impl ResultCache {
     /// pass.
     pub fn with_telemetry(mut self, telemetry: Option<TelemetrySink>) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a fault-injection registry (chaos testing only); see
+    /// [`crate::faults`].
+    pub fn with_faults(mut self, faults: Option<Arc<FaultRegistry>>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -146,6 +158,13 @@ impl ResultCache {
     pub fn insert(&self, key: CacheKey, summary: Arc<ResultSummary>) {
         if self.capacity == 0 {
             return;
+        }
+        match faults::check(self.faults.as_ref(), site::CACHE_INSERT) {
+            Some(FaultAction::Panic) => panic!("{}", FaultRegistry::injected(site::CACHE_INSERT)),
+            // An injected insertion failure silently drops the entry:
+            // the job still completes, the next lookup just misses.
+            Some(_) => return,
+            None => {}
         }
         let mut inner = self.inner.lock().expect("cache poisoned");
         inner.tick += 1;

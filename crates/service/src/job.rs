@@ -208,8 +208,15 @@ pub enum JobStatus {
     Completed,
     /// Cancelled (explicitly or by deadline) before completing.
     Cancelled,
-    /// Failed to load/parse/generate its netlist.
+    /// Failed to load/parse/generate its netlist, or exhausted its
+    /// retry budget on transient failures.
     Failed,
+    /// The pipeline panicked; the panic was isolated to this job (the
+    /// worker thread survived).
+    Panicked,
+    /// Shed at admission: the service refused to queue the job (full
+    /// queue under a shedding policy, admission timeout, shutdown).
+    Rejected,
 }
 
 impl JobStatus {
@@ -221,15 +228,14 @@ impl JobStatus {
             JobStatus::Completed => "completed",
             JobStatus::Cancelled => "cancelled",
             JobStatus::Failed => "failed",
+            JobStatus::Panicked => "panicked",
+            JobStatus::Rejected => "rejected",
         }
     }
 
     /// Whether the job has reached a terminal state.
     pub fn is_terminal(&self) -> bool {
-        matches!(
-            self,
-            JobStatus::Completed | JobStatus::Cancelled | JobStatus::Failed
-        )
+        !matches!(self, JobStatus::Queued | JobStatus::Running(_))
     }
 }
 
@@ -342,6 +348,32 @@ impl FromJson for ResultSummary {
     }
 }
 
+/// Why the service refused to queue a job (see
+/// [`JobVerdict::Rejected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was at capacity under a shedding policy.
+    QueueFull,
+    /// The queue stayed full for the whole admission timeout.
+    Timeout,
+    /// The worker pool is shutting down; the job can never run.
+    ShuttingDown,
+    /// The `queue.accept` failpoint fired (chaos testing).
+    Injected,
+}
+
+impl RejectReason {
+    /// Stable lowercase name for displays and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Timeout => "timeout",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::Injected => "injected",
+        }
+    }
+}
+
 /// How a job ended.
 #[derive(Debug, Clone)]
 pub enum JobVerdict {
@@ -353,8 +385,21 @@ pub enum JobVerdict {
         /// Pipeline phase at cancellation, if it had started.
         phase: Option<Phase>,
     },
-    /// The netlist could not be loaded/parsed/generated.
+    /// The netlist could not be loaded/parsed/generated, or transient
+    /// failures outlived the retry budget.
     Failed(String),
+    /// The pipeline panicked. The panic was contained: the stream
+    /// closed, waiters woke, and the worker thread took the next job.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// Shed at admission instead of queued — the typed fail-fast
+    /// outcome of [`ShedPolicy`](crate::ShedPolicy) admission control.
+    Rejected {
+        /// Why admission refused the job.
+        reason: RejectReason,
+    },
 }
 
 /// The terminal record of a job, retrievable via `JobHandle::wait`.
@@ -370,6 +415,9 @@ pub struct JobOutcome {
     pub from_cache: bool,
     /// Queue-to-terminal wall-clock time (not part of canonical JSON).
     pub service_time: Duration,
+    /// Transient-failure retries this job consumed (not part of
+    /// canonical JSON; reported in the timing block).
+    pub retries: u32,
 }
 
 impl JobOutcome {
@@ -387,6 +435,8 @@ impl JobOutcome {
             JobVerdict::Completed(_) => JobStatus::Completed,
             JobVerdict::Cancelled { .. } => JobStatus::Cancelled,
             JobVerdict::Failed(_) => JobStatus::Failed,
+            JobVerdict::Panicked { .. } => JobStatus::Panicked,
+            JobVerdict::Rejected { .. } => JobStatus::Rejected,
         }
     }
 
@@ -403,6 +453,7 @@ impl JobOutcome {
                 "service_ms".to_owned(),
                 Json::duration_ms(self.service_time),
             ),
+            ("retries".to_owned(), Json::from(self.retries as usize)),
         ];
         if let Some(summary) = self.summary() {
             pairs.push((
@@ -445,6 +496,12 @@ impl ToJson for JobOutcome {
             }
             JobVerdict::Failed(err) => {
                 pairs.push(("error".to_owned(), Json::str(err.clone())));
+            }
+            JobVerdict::Panicked { message } => {
+                pairs.push(("panic".to_owned(), Json::str(message.clone())));
+            }
+            JobVerdict::Rejected { reason } => {
+                pairs.push(("rejected".to_owned(), Json::str(reason.name())));
             }
         }
         Json::Obj(pairs)

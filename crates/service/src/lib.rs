@@ -19,6 +19,12 @@
 //!   [`CancelToken`](boole::CancelToken) when its deadline passes; the
 //!   runner observes it between rules, so runaway jobs die without
 //!   poisoning the pool.
+//! * Robustness: panicking pipelines are isolated per job (the worker
+//!   survives, the handle resolves as [`JobStatus::Panicked`]),
+//!   transient failures retry with exponential backoff, overload can
+//!   shed instead of block ([`ShedPolicy`]), and every I/O and
+//!   scheduling edge carries a named failpoint ([`FaultRegistry`]) so
+//!   chaos tests can drive rare error paths deterministically.
 //!
 //! Netlists arrive in any registered frontend format — ASCII/binary
 //! AIGER, BLIF, or structural Verilog ([`JobSpec::file`] dispatches by
@@ -34,18 +40,21 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod faults;
 mod fingerprint;
 mod job;
 mod service;
 mod store;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use faults::{FaultAction, FaultPolicy, FaultRegistry, InjectedFault, Trigger};
 pub use fingerprint::{fingerprint_aig, fingerprint_params, Fingerprint};
 pub use job::{
     GenFamily, GenPrep, GenSpec, JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict,
-    ResultSummary,
+    RejectReason, ResultSummary,
 };
 pub use service::{
     run_spec_serial, run_spec_serial_observed, JobHandle, Service, ServiceConfig, ServiceStats,
+    ShedPolicy, SubmitError,
 };
 pub use store::{DiskStats, DiskStore, STORE_FORMAT_VERSION};

@@ -5,7 +5,7 @@
 
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -17,9 +17,59 @@ use boole::{BoolE, CancelToken, PhaseEvent};
 use egraph::hash::FxHashMap;
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::faults::{self, site, FaultAction, FaultRegistry};
 use crate::fingerprint::{fingerprint_aig, fingerprint_params};
-use crate::job::{JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict, ResultSummary};
+use crate::job::{
+    JobOutcome, JobSource, JobSpec, JobStatus, JobVerdict, RejectReason, ResultSummary,
+};
 use crate::store::{DiskStats, DiskStore};
+
+/// What [`Service::submit`] does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Block the submitter until the queue has room (the original
+    /// behavior; backpressure propagates to the caller).
+    #[default]
+    Block,
+    /// Fail fast: the job resolves immediately with a terminal
+    /// [`JobVerdict::Rejected`] outcome instead of blocking forever —
+    /// the overload behavior a network tier needs.
+    Shed,
+    /// Wait up to the duration for room, then reject.
+    Timeout(Duration),
+}
+
+/// Why [`Service::try_submit`] handed a spec back instead of queueing
+/// it. Each variant carries the spec untouched so the caller can retry
+/// (or not) without cloning up front.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is full right now; retrying later can
+    /// succeed.
+    QueueFull(JobSpec),
+    /// The worker channel is closed — the service is shutting down, so
+    /// retrying can never succeed.
+    ShuttingDown(JobSpec),
+    /// The `queue.accept` failpoint fired (fault-injection runs only).
+    Injected(JobSpec),
+}
+
+impl SubmitError {
+    /// Recovers the spec for resubmission.
+    pub fn into_spec(self) -> JobSpec {
+        match self {
+            SubmitError::QueueFull(spec)
+            | SubmitError::ShuttingDown(spec)
+            | SubmitError::Injected(spec) => spec,
+        }
+    }
+
+    /// True when a later retry could succeed (the queue was merely
+    /// full); false when the service is gone for good.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SubmitError::QueueFull(_) | SubmitError::Injected(_))
+    }
+}
 
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
@@ -52,6 +102,22 @@ pub struct ServiceConfig {
     /// Results are byte-identical at any setting, so this never
     /// affects cache keys or reproducibility.
     pub search_threads: Option<usize>,
+    /// Overload behavior of [`Service::submit`]; the default blocks.
+    pub shed_policy: ShedPolicy,
+    /// Retry budget for transiently-failing jobs (I/O errors loading a
+    /// netlist, injected transient faults). `0` disables retries;
+    /// permanent failures (parse errors, panics) never retry.
+    pub max_retries: u32,
+    /// Base delay of the exponential retry backoff. Attempt `n` waits
+    /// `retry_base * 2^n` plus deterministic per-job jitter, capped at
+    /// two seconds.
+    pub retry_base: Duration,
+    /// Fault-injection registry shared by every failpoint in this
+    /// service (disk tiers, cache insertion, queue admission, worker
+    /// pipelines). `None` — the default — compiles every failpoint
+    /// down to one relaxed atomic load, leaving production behavior
+    /// byte-identical.
+    pub faults: Option<Arc<FaultRegistry>>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +132,10 @@ impl Default for ServiceConfig {
             cache_dir: None,
             telemetry: None,
             search_threads: None,
+            shed_policy: ShedPolicy::Block,
+            max_retries: 2,
+            retry_base: Duration::from_millis(25),
+            faults: None,
         }
     }
 }
@@ -74,6 +144,13 @@ impl ServiceConfig {
     /// Sets the worker count.
     pub fn with_workers(mut self, n: usize) -> Self {
         self.num_workers = n.max(1);
+        self
+    }
+
+    /// Sets the bounded job-queue depth (the admission-control
+    /// backlog a [`ShedPolicy`] guards).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
         self
     }
 
@@ -96,6 +173,30 @@ impl ServiceConfig {
         self.search_threads = Some(threads);
         self
     }
+
+    /// Sets the overload behavior of [`Service::submit`].
+    pub fn with_shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed_policy = policy;
+        self
+    }
+
+    /// Sets the retry budget for transiently-failing jobs.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the base delay of the exponential retry backoff.
+    pub fn with_retry_base(mut self, base: Duration) -> Self {
+        self.retry_base = base;
+        self
+    }
+
+    /// Attaches a fault-injection registry (see [`crate::faults`]).
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 /// Aggregate service counters (see also [`CacheStats`]).
@@ -109,6 +210,14 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Jobs that failed to produce a netlist.
     pub failed: u64,
+    /// Jobs whose pipeline panicked (isolated; the worker survived).
+    pub panicked: u64,
+    /// Jobs rejected at admission (queue full under a shed/timeout
+    /// policy, submit during shutdown, or an injected admission fault).
+    pub shed: u64,
+    /// Individual retry attempts across all jobs (a job retried twice
+    /// contributes two).
+    pub retried: u64,
     /// Pipelines actually executed (cache misses that ran saturation).
     pub pipelines_run: u64,
     /// Jobs answered by another job's in-flight pipeline (single-flight
@@ -150,6 +259,9 @@ impl ToJson for ServiceStats {
             ("completed", Json::Int(self.completed as i64)),
             ("cancelled", Json::Int(self.cancelled as i64)),
             ("failed", Json::Int(self.failed as i64)),
+            ("panicked", Json::Int(self.panicked as i64)),
+            ("shed", Json::Int(self.shed as i64)),
+            ("retried", Json::Int(self.retried as i64)),
             ("pipelines_run", Json::Int(self.pipelines_run as i64)),
             ("coalesced", Json::Int(self.coalesced as i64)),
             ("cache", Json::Obj(cache)),
@@ -163,6 +275,9 @@ struct Counters {
     completed: AtomicU64,
     cancelled: AtomicU64,
     failed: AtomicU64,
+    panicked: AtomicU64,
+    shed: AtomicU64,
+    retried: AtomicU64,
     pipelines_run: AtomicU64,
     coalesced: AtomicU64,
 }
@@ -191,6 +306,8 @@ struct JobState {
     cell: Mutex<JobCell>,
     done: Condvar,
     submitted_at: Instant,
+    /// Retry attempts consumed so far; copied into the outcome.
+    retries: AtomicU32,
 }
 
 impl JobState {
@@ -212,6 +329,7 @@ impl JobState {
             verdict,
             from_cache,
             service_time: self.submitted_at.elapsed(),
+            retries: self.retries.load(Ordering::Relaxed),
         });
         let mut cell = lock_recover(&self.cell);
         cell.status = outcome.status();
@@ -422,6 +540,12 @@ struct Shared {
     watchdog_wake: Condvar,
     /// Out-of-band event bus + metrics; `None` disables all telemetry.
     telemetry: Option<TelemetrySink>,
+    /// Fault-injection registry; `None` disables every failpoint.
+    faults: Option<Arc<FaultRegistry>>,
+    /// Retry budget for transient failures (see [`ServiceConfig`]).
+    max_retries: u32,
+    /// Base delay of the exponential retry backoff.
+    retry_base: Duration,
 }
 
 /// A concurrent batch-reasoning server over the BoolE pipeline.
@@ -442,6 +566,7 @@ pub struct Service {
     watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     search_threads: Option<usize>,
+    shed_policy: ShedPolicy,
 }
 
 impl Service {
@@ -450,6 +575,7 @@ impl Service {
     /// warning — a broken cache disk must not take the service down.
     pub fn new(config: ServiceConfig) -> Self {
         let telemetry = config.telemetry.clone();
+        let faults = config.faults.clone();
         let store = config.cache_dir.as_ref().and_then(|dir| {
             DiskStore::open(dir)
                 .map_err(|err| {
@@ -459,16 +585,25 @@ impl Service {
                     );
                 })
                 .ok()
-                .map(|store| store.with_telemetry(telemetry.clone()))
+                .map(|store| {
+                    store
+                        .with_telemetry(telemetry.clone())
+                        .with_faults(faults.clone())
+                })
         });
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(config.cache_capacity).with_telemetry(telemetry.clone()),
+            cache: ResultCache::new(config.cache_capacity)
+                .with_telemetry(telemetry.clone())
+                .with_faults(faults.clone()),
             store,
             flights: Mutex::new(FxHashMap::default()),
             counters: Counters::default(),
             watchdog: Mutex::new(WatchdogQueue::default()),
             watchdog_wake: Condvar::new(),
             telemetry,
+            faults,
+            max_retries: config.max_retries,
+            retry_base: config.retry_base,
         });
         let (sender, receiver) = mpsc::sync_channel(config.queue_capacity.max(1));
         let receiver: Arc<JobQueue> = Arc::new(Mutex::new(receiver));
@@ -496,6 +631,7 @@ impl Service {
             watchdog: Some(watchdog),
             next_id: AtomicU64::new(1),
             search_threads: config.search_threads,
+            shed_policy: config.shed_policy,
         }
     }
 
@@ -519,6 +655,7 @@ impl Service {
             }),
             done: Condvar::new(),
             submitted_at: Instant::now(),
+            retries: AtomicU32::new(0),
         })
     }
 
@@ -526,7 +663,10 @@ impl Service {
     /// the `job_submitted` event.
     fn register(&self, deadline: Option<Duration>, state: &Arc<JobState>) {
         if let Some(deadline) = deadline {
-            let mut queue = self.shared.watchdog.lock().expect("watchdog poisoned");
+            // Poison recovery: the heap is valid after any partial
+            // update, and a panicked deadline holder must not make
+            // every later submit panic too.
+            let mut queue = lock_recover(&self.shared.watchdog);
             queue.heap.push(DeadlineEntry {
                 due: state.submitted_at + deadline,
                 job: Arc::clone(state),
@@ -547,27 +687,126 @@ impl Service {
         }
     }
 
-    /// Submits a job, blocking while the bounded queue is full.
-    pub fn submit(&self, mut spec: JobSpec) -> JobHandle {
+    /// Submits a job. Queue-full behavior follows the configured
+    /// [`ShedPolicy`]: block (the default), reject immediately, or
+    /// reject after a bounded wait. Rejected jobs — including submits
+    /// racing a shutdown — come back with a handle that is *already*
+    /// terminal ([`JobVerdict::Rejected`]); the caller never observes
+    /// a hang or a panic.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        self.submit_with_policy(spec, self.shed_policy)
+    }
+
+    /// Submits a job, waiting at most `timeout` for queue room before
+    /// rejecting with [`RejectReason::Timeout`] — a per-call override
+    /// of the configured shed policy.
+    pub fn submit_timeout(&self, spec: JobSpec, timeout: Duration) -> JobHandle {
+        self.submit_with_policy(spec, ShedPolicy::Timeout(timeout))
+    }
+
+    fn submit_with_policy(&self, mut spec: JobSpec, policy: ShedPolicy) -> JobHandle {
         let state = self.make_state(&mut spec);
         let deadline = spec.deadline;
-        self.sender
-            .as_ref()
-            .expect("service alive")
-            .send((spec, Arc::clone(&state)))
-            .expect("worker pool alive");
+        match faults::check(self.shared.faults.as_ref(), site::QUEUE_ACCEPT) {
+            Some(FaultAction::Panic) => {
+                panic!("{}", FaultRegistry::injected(site::QUEUE_ACCEPT));
+            }
+            Some(FaultAction::Error | FaultAction::Corrupt) => {
+                return self.reject(&state, RejectReason::Injected);
+            }
+            None => {}
+        }
+        let sender = self.sender.as_ref().expect("service alive");
+        match policy {
+            ShedPolicy::Block => {
+                if sender.send((spec, Arc::clone(&state))).is_err() {
+                    // Workers gone: racing a shutdown. Resolve the job
+                    // terminally instead of panicking the submitter.
+                    return self.reject(&state, RejectReason::ShuttingDown);
+                }
+            }
+            ShedPolicy::Shed => match sender.try_send((spec, Arc::clone(&state))) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    return self.reject(&state, RejectReason::QueueFull);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return self.reject(&state, RejectReason::ShuttingDown);
+                }
+            },
+            ShedPolicy::Timeout(timeout) => {
+                // std's SyncSender has no send_timeout, so poll
+                // try_send until the deadline. The 500us pause bounds
+                // the busy-wait without adding meaningful latency at
+                // job-queue timescales.
+                let give_up_at = Instant::now() + timeout;
+                let mut pending = (spec, Arc::clone(&state));
+                loop {
+                    match sender.try_send(pending) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            if Instant::now() >= give_up_at {
+                                return self.reject(&state, RejectReason::Timeout);
+                            }
+                            pending = back;
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            return self.reject(&state, RejectReason::ShuttingDown);
+                        }
+                    }
+                }
+            }
+        }
         self.register(deadline, &state);
         JobHandle { state }
     }
 
-    /// Submits a job unless the queue is full (non-blocking); the spec
-    /// is handed back untouched on rejection.
-    // The Err payload is deliberately the (large, netlist-carrying)
-    // spec itself so callers can retry without cloning up front.
+    /// Resolves a job as terminally rejected without queueing it.
+    /// Rejected jobs still count as submitted (so the accounting
+    /// invariant `submitted == terminal outcomes` holds) and emit the
+    /// usual submitted/done event pair, but never touch the deadline
+    /// heap or the queue-depth gauge.
+    fn reject(&self, state: &Arc<JobState>, reason: RejectReason) -> JobHandle {
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        let outcome = state.finalize(JobVerdict::Rejected { reason }, false);
+        if let Some(telemetry) = &self.shared.telemetry {
+            telemetry.events.publish(EventKind::JobSubmitted {
+                job: state.id,
+                label: state.label.clone(),
+            });
+            telemetry.metrics.counter("jobs_submitted").inc();
+            publish_job_done(telemetry, &outcome);
+        }
+        JobHandle {
+            state: Arc::clone(state),
+        }
+    }
+
+    /// Submits a job unless the queue is full (non-blocking); the
+    /// error distinguishes a transient full queue (retry later) from a
+    /// shutdown in progress (give up), and hands the spec back
+    /// untouched either way.
+    // The Err payload deliberately carries the (large,
+    // netlist-carrying) spec itself so callers can retry without
+    // cloning up front.
     #[allow(clippy::result_large_err)]
-    pub fn try_submit(&self, mut spec: JobSpec) -> Result<JobHandle, JobSpec> {
+    pub fn try_submit(&self, mut spec: JobSpec) -> Result<JobHandle, SubmitError> {
         let state = self.make_state(&mut spec);
         let deadline = spec.deadline;
+        match faults::check(self.shared.faults.as_ref(), site::QUEUE_ACCEPT) {
+            Some(FaultAction::Panic) => {
+                panic!("{}", FaultRegistry::injected(site::QUEUE_ACCEPT));
+            }
+            Some(FaultAction::Error | FaultAction::Corrupt) => {
+                return Err(SubmitError::Injected(spec));
+            }
+            None => {}
+        }
         match self
             .sender
             .as_ref()
@@ -578,9 +817,8 @@ impl Service {
                 self.register(deadline, &state);
                 Ok(JobHandle { state })
             }
-            Err(TrySendError::Full((spec, _))) | Err(TrySendError::Disconnected((spec, _))) => {
-                Err(spec)
-            }
+            Err(TrySendError::Full((spec, _))) => Err(SubmitError::QueueFull(spec)),
+            Err(TrySendError::Disconnected((spec, _))) => Err(SubmitError::ShuttingDown(spec)),
         }
     }
 
@@ -599,6 +837,9 @@ impl Service {
             completed: c.completed.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
             pipelines_run: c.pipelines_run.load(Ordering::Relaxed),
             coalesced: c.coalesced.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
@@ -620,7 +861,9 @@ impl Service {
             let _ = worker.join();
         }
         {
-            let mut queue = self.shared.watchdog.lock().expect("watchdog poisoned");
+            // Recover rather than panic: shutdown must complete even
+            // if some deadline holder poisoned the watchdog lock.
+            let mut queue = lock_recover(&self.shared.watchdog);
             queue.shutdown = true;
             self.shared.watchdog_wake.notify_all();
         }
@@ -639,7 +882,11 @@ impl Drop for Service {
 }
 
 fn watchdog_loop(shared: &Shared) {
-    let mut queue = shared.watchdog.lock().expect("watchdog poisoned");
+    // Poison recovery throughout: the queue (a heap of Arcs plus a
+    // flag) is valid after any partial update, and the watchdog is a
+    // singleton — if it dies, no deadline ever fires again. It must
+    // survive anything the other threads do to this lock.
+    let mut queue = lock_recover(&shared.watchdog);
     loop {
         if queue.shutdown {
             return;
@@ -661,11 +908,14 @@ fn watchdog_loop(shared: &Shared) {
                 let (next, _) = shared
                     .watchdog_wake
                     .wait_timeout(queue, wait)
-                    .expect("watchdog poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = next;
             }
             None => {
-                queue = shared.watchdog_wake.wait(queue).expect("watchdog poisoned");
+                queue = shared
+                    .watchdog_wake
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -677,7 +927,11 @@ fn worker_loop(receiver: &JobQueue, shared: &Shared) {
         // block each other on `recv`, but the queue is the intended
         // serialization point; the job itself runs unlocked.
         let next = {
-            let receiver = receiver.lock().expect("receiver poisoned");
+            // Recover from poisoning: a Receiver is just a channel
+            // endpoint (no invariant a panic can break), and one
+            // worker dying mid-recv must not idle the rest of the
+            // pool.
+            let receiver = receiver.lock().unwrap_or_else(PoisonError::into_inner);
             receiver.recv()
         };
         let Ok((spec, state)) = next else {
@@ -690,25 +944,32 @@ fn worker_loop(receiver: &JobQueue, shared: &Shared) {
             telemetry.metrics.gauge("queue_depth").add(-1);
             telemetry.metrics.gauge("in_flight_jobs").add(1);
         }
-        // A panicking pipeline must not strand the JobHandle: convert
-        // the panic into a Failed outcome so wait() always returns and
-        // this worker survives to take the next job.
+        // A panicking job must not strand the JobHandle: convert the
+        // panic into a terminal Panicked outcome so wait() always
+        // returns and this worker survives to take the next job.
+        // (execute_job catches pipeline panics itself; this outer
+        // catch is the last-resort net for panics in the cache/flight
+        // bookkeeping around it.)
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_job(&spec, &state, Some(shared), shared.telemetry.as_ref())
         }));
         let outcome = run.unwrap_or_else(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "pipeline panicked".to_owned());
-            state.finalize(JobVerdict::Failed(format!("panic: {message}")), false)
+            state.finalize(
+                JobVerdict::Panicked {
+                    message: panic_message(payload.as_ref()),
+                },
+                false,
+            )
         });
         debug_assert!(outcome.status().is_terminal());
         match &outcome.verdict {
             JobVerdict::Completed(_) => &shared.counters.completed,
             JobVerdict::Cancelled { .. } => &shared.counters.cancelled,
             JobVerdict::Failed(_) => &shared.counters.failed,
+            JobVerdict::Panicked { .. } => &shared.counters.panicked,
+            // Rejection happens at admission, before a job can reach a
+            // worker; counted in `reject`, unreachable here.
+            JobVerdict::Rejected { .. } => &shared.counters.shed,
         }
         .fetch_add(1, Ordering::Relaxed);
         // The terminal event is published from the outcome (not inside
@@ -731,6 +992,8 @@ fn publish_job_done(telemetry: &TelemetrySink, outcome: &JobOutcome) {
     let counter = match outcome.status() {
         JobStatus::Completed => "jobs_completed",
         JobStatus::Cancelled => "jobs_cancelled",
+        JobStatus::Panicked => "jobs_panicked",
+        JobStatus::Rejected => "jobs_shed",
         _ => "jobs_failed",
     };
     telemetry.metrics.counter(counter).inc();
@@ -740,16 +1003,44 @@ fn publish_job_done(telemetry: &TelemetrySink, outcome: &JobOutcome) {
         .observe(outcome.service_time);
 }
 
-/// Resolves a job source into a netlist.
-fn load_netlist(source: &JobSource) -> Result<aig::Aig, String> {
+/// Best-effort text from a panic payload (`&str` and `String` cover
+/// `panic!`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "pipeline panicked".to_owned())
+}
+
+/// Whether a failure is worth retrying (`Transient`) or will fail the
+/// same way every time (`Permanent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorClass {
+    /// Environmental: a retry may succeed (I/O errors, injected
+    /// transient faults).
+    Transient,
+    /// Deterministic: retrying burns the budget for nothing (parse
+    /// errors, malformed netlists).
+    Permanent,
+}
+
+/// Resolves a job source into a netlist, classifying failures so the
+/// retry loop only spends its budget where a retry can help.
+fn load_netlist(source: &JobSource) -> Result<aig::Aig, (String, ErrorClass)> {
     match source {
         JobSource::Netlist(aig) => Ok(aig.clone()),
-        JobSource::AagText(text) => {
-            aig::aiger::from_aag(text).map_err(|e| format!("parse error: {e:?}"))
-        }
-        JobSource::File(path) => {
-            aig::read_netlist(path).map_err(|e| format!("cannot load {}: {e}", path.display()))
-        }
+        JobSource::AagText(text) => aig::aiger::from_aag(text)
+            .map_err(|e| (format!("parse error: {e:?}"), ErrorClass::Permanent)),
+        JobSource::File(path) => aig::read_netlist(path).map_err(|e| {
+            // Only the OS-level read is environmental; a file that
+            // *parses* wrong will parse wrong again.
+            let class = match e.kind {
+                aig::netlist::NetlistErrorKind::Io => ErrorClass::Transient,
+                _ => ErrorClass::Permanent,
+            };
+            (format!("cannot load {}: {e}", path.display()), class)
+        }),
         JobSource::Generate(spec) => Ok(spec.build()),
     }
 }
@@ -794,9 +1085,26 @@ fn execute_job(
         return state.finalize(JobVerdict::Cancelled { phase: None }, false);
     }
     state.set_status(JobStatus::Running(None));
-    let netlist = match load_netlist(&spec.source) {
-        Ok(netlist) => netlist,
-        Err(err) => return state.finalize(JobVerdict::Failed(err), false),
+    let max_retries = shared.map_or(0, |s| s.max_retries);
+    let retry_base = shared.map_or(Duration::from_millis(25), |s| s.retry_base);
+    // Loading happens before fingerprinting, so a flaky read retries
+    // here rather than surfacing as a spurious cache miss.
+    let netlist = {
+        let mut attempt = 0u32;
+        loop {
+            match load_netlist(&spec.source) {
+                Ok(netlist) => break netlist,
+                Err((err, class)) => {
+                    if class == ErrorClass::Permanent || attempt >= max_retries {
+                        return state.finalize(JobVerdict::Failed(err), false);
+                    }
+                    if !note_retry(state, shared, telemetry, attempt, retry_base) {
+                        return state.finalize(JobVerdict::Cancelled { phase: None }, false);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
     };
     let cache_key = CacheKey {
         netlist: fingerprint_aig(&netlist),
@@ -935,42 +1243,142 @@ fn execute_job(
             }
         }
     }));
-    match engine.try_run(&netlist) {
-        Ok(result) => {
-            let summary = Arc::new(ResultSummary::from(&result));
-            if let Some(telemetry) = telemetry {
-                // Per-rule search-time profile into the histogram the
-                // relational-matching work will be measured against.
-                let hist = telemetry.metrics.histogram("rule_search_ms");
-                for rule in &summary.saturation.rules {
-                    hist.observe(rule.search_time);
+    let faults_ref = shared.and_then(|s| s.faults.as_ref());
+    // The attempt loop. Retries run under the same flight leadership
+    // (the guard stays held), so followers keep waiting through a
+    // retry instead of racing to run the pipeline themselves; a
+    // *panic* is terminal and returns, dropping the guard, which
+    // releases followers to elect a new leader.
+    let mut attempt = 0u32;
+    let result = loop {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // One failpoint consultation per attempt, inside the
+            // isolation boundary: Panic exercises the catch_unwind
+            // exactly where a real pipeline bug would fire;
+            // Error/Corrupt model a transiently-failing pipeline and
+            // feed the retry path.
+            match faults::check(faults_ref, site::WORKER_PIPELINE) {
+                Some(FaultAction::Panic) => {
+                    panic!("{}", FaultRegistry::injected(site::WORKER_PIPELINE))
                 }
-            }
-            if let Some(shared) = shared.filter(|_| spec.use_cache) {
-                shared.cache.insert(cache_key, Arc::clone(&summary));
-                if let Some(store) = &shared.store {
-                    store.put(&cache_key, &summary);
+                Some(FaultAction::Error | FaultAction::Corrupt) => {
+                    return Err(FaultRegistry::injected(site::WORKER_PIPELINE).to_string());
                 }
+                None => {}
             }
-            // Both tiers are populated before followers wake (and
-            // before late arrivals can miss the flight), so a released
-            // follower finds either the flight result or a cache hit.
-            if let Some(guard) = guard {
-                guard.complete(Arc::clone(&summary));
+            Ok(engine.try_run(&netlist))
+        }));
+        match run {
+            Err(payload) => {
+                // Terminal: a deterministic bug would panic again, so
+                // no retry. The guard (if leading) drops on return.
+                return state.finalize(
+                    JobVerdict::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    },
+                    false,
+                );
             }
-            state.finalize(JobVerdict::Completed(summary), false)
+            Ok(Err(transient)) => {
+                if attempt >= max_retries {
+                    return state.finalize(JobVerdict::Failed(transient), false);
+                }
+                if !note_retry(state, shared, telemetry, attempt, retry_base) {
+                    return state.finalize(JobVerdict::Cancelled { phase: None }, false);
+                }
+                attempt += 1;
+            }
+            Ok(Ok(Err(cancelled))) => {
+                // `guard` drops here (if leading): followers are
+                // released with "leader gone" and elect a new leader.
+                return state.finalize(
+                    JobVerdict::Cancelled {
+                        phase: Some(cancelled.phase),
+                    },
+                    false,
+                );
+            }
+            Ok(Ok(Ok(result))) => break result,
         }
-        Err(cancelled) => {
-            // `guard` drops here (if leading): followers are released
-            // with "leader gone" and elect a new leader.
-            state.finalize(
-                JobVerdict::Cancelled {
-                    phase: Some(cancelled.phase),
-                },
-                false,
-            )
+    };
+    let summary = Arc::new(ResultSummary::from(&result));
+    if let Some(telemetry) = telemetry {
+        // Per-rule search-time profile into the histogram the
+        // relational-matching work will be measured against.
+        let hist = telemetry.metrics.histogram("rule_search_ms");
+        for rule in &summary.saturation.rules {
+            hist.observe(rule.search_time);
         }
     }
+    if let Some(shared) = shared.filter(|_| spec.use_cache) {
+        shared.cache.insert(cache_key, Arc::clone(&summary));
+        if let Some(store) = &shared.store {
+            store.put(&cache_key, &summary);
+        }
+    }
+    // Both tiers are populated before followers wake (and before late
+    // arrivals can miss the flight), so a released follower finds
+    // either the flight result or a cache hit.
+    if let Some(guard) = guard {
+        guard.complete(Arc::clone(&summary));
+    }
+    state.finalize(JobVerdict::Completed(summary), false)
+}
+
+/// Deterministic backoff for retry `attempt` of job `job_id`:
+/// exponential in the attempt with per-(job, attempt) jitter from the
+/// splitmix64 stream, capped at two seconds. Deterministic so chaos
+/// runs replay exactly from a seed.
+fn backoff_delay(base: Duration, attempt: u32, job_id: u64) -> Duration {
+    const CAP: Duration = Duration::from_secs(2);
+    let base = base.max(Duration::from_millis(1));
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let mut rng = job_id ^ (u64::from(attempt) << 32) ^ 0x9e37_79b9_7f4a_7c15;
+    let base_ms = u64::try_from(base.as_millis()).unwrap_or(u64::MAX).max(1);
+    let jitter = Duration::from_millis(faults::splitmix64(&mut rng) % base_ms);
+    (exp + jitter).min(CAP)
+}
+
+/// Sleeps out a backoff in short slices, polling the cancel token so a
+/// cancelled (or deadline-expired) job stops backing off immediately.
+/// Returns false when cancelled.
+fn backoff_pause(cancel: &CancelToken, delay: Duration) -> bool {
+    let until = Instant::now() + delay;
+    loop {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let Some(remaining) = until.checked_duration_since(Instant::now()) else {
+            return true;
+        };
+        std::thread::sleep(remaining.min(Duration::from_millis(2)));
+    }
+}
+
+/// Accounts one retry — the per-job counter, the service-wide counter,
+/// the `job_retry` event — then sleeps the backoff. Returns false when
+/// the job was cancelled while backing off.
+fn note_retry(
+    state: &JobState,
+    shared: Option<&Shared>,
+    telemetry: Option<&TelemetrySink>,
+    attempt: u32,
+    base: Duration,
+) -> bool {
+    let delay = backoff_delay(base, attempt, state.id);
+    state.retries.fetch_add(1, Ordering::Relaxed);
+    if let Some(shared) = shared {
+        shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(telemetry) = telemetry {
+        telemetry.events.publish(EventKind::JobRetry {
+            job: state.id,
+            attempt: attempt + 1,
+            delay,
+        });
+        telemetry.metrics.counter("jobs_retried").inc();
+    }
+    backoff_pause(&state.cancel, delay)
 }
 
 /// Publishes the cache hit/miss event and counter for one tier lookup.
@@ -1020,6 +1428,7 @@ pub fn run_spec_serial_observed(
         }),
         done: Condvar::new(),
         submitted_at: Instant::now(),
+        retries: AtomicU32::new(0),
     });
     if let Some(telemetry) = telemetry {
         telemetry.events.publish(EventKind::JobSubmitted {
@@ -1071,6 +1480,7 @@ mod tests {
             }),
             done: Condvar::new(),
             submitted_at: Instant::now(),
+            retries: AtomicU32::new(0),
         })
     }
 

@@ -31,6 +31,7 @@ use boole::json::{expect_exact_fields, FromJson, Json, JsonError, ToJson};
 use boole::telemetry::{EventKind, TelemetrySink};
 
 use crate::cache::CacheKey;
+use crate::faults::{self, site, FaultAction, FaultRegistry};
 use crate::fingerprint::Fingerprint;
 use crate::job::ResultSummary;
 
@@ -65,6 +66,9 @@ pub struct DiskStore {
     /// Optional event sink notified of write failures (the visible
     /// warning on stderr is emitted regardless).
     telemetry: Option<TelemetrySink>,
+    /// Optional fault-injection registry; the `disk.read`,
+    /// `disk.write`, and `disk.rename` failpoints fire here.
+    faults: Option<Arc<FaultRegistry>>,
 }
 
 impl DiskStore {
@@ -80,6 +84,7 @@ impl DiskStore {
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
             telemetry: None,
+            faults: None,
         })
     }
 
@@ -87,6 +92,13 @@ impl DiskStore {
     /// write.
     pub fn with_telemetry(mut self, telemetry: Option<TelemetrySink>) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a fault-injection registry (chaos testing only); see
+    /// [`crate::faults`].
+    pub fn with_faults(mut self, faults: Option<Arc<FaultRegistry>>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -115,9 +127,51 @@ impl DiskStore {
     }
 
     fn load(&self, key: &CacheKey) -> Option<Arc<ResultSummary>> {
+        match faults::check(self.faults.as_ref(), site::DISK_READ) {
+            Some(FaultAction::Panic) => panic!("{}", FaultRegistry::injected(site::DISK_READ)),
+            // An injected read failure degrades to a miss, exactly
+            // like a real unreadable file.
+            Some(_) => return None,
+            None => {}
+        }
         let text = std::fs::read_to_string(self.record_path(key)).ok()?;
         let summary = decode_record(&text, key).ok()?;
         Some(Arc::new(summary))
+    }
+
+    /// Writes the record bytes and publishes them under the key's
+    /// file name, with the `disk.write` and `disk.rename` failpoints
+    /// in line. An injected `corrupt` on `disk.write` lands a torn
+    /// record that still *counts as a successful write* — the hostile
+    /// case the read-side validation exists for.
+    fn try_write(
+        &self,
+        key: &CacheKey,
+        tmp: &Path,
+        summary: &ResultSummary,
+    ) -> std::io::Result<()> {
+        let mut text = encode_record(key, summary).to_string();
+        match faults::check(self.faults.as_ref(), site::DISK_WRITE) {
+            Some(FaultAction::Panic) => panic!("{}", FaultRegistry::injected(site::DISK_WRITE)),
+            Some(FaultAction::Error) => {
+                return Err(std::io::Error::other(FaultRegistry::injected(
+                    site::DISK_WRITE,
+                )));
+            }
+            Some(FaultAction::Corrupt) => text.truncate(text.len() / 2),
+            None => {}
+        }
+        std::fs::write(tmp, text)?;
+        match faults::check(self.faults.as_ref(), site::DISK_RENAME) {
+            Some(FaultAction::Panic) => panic!("{}", FaultRegistry::injected(site::DISK_RENAME)),
+            Some(_) => {
+                return Err(std::io::Error::other(FaultRegistry::injected(
+                    site::DISK_RENAME,
+                )));
+            }
+            None => {}
+        }
+        std::fs::rename(tmp, self.record_path(key))
     }
 
     /// Persists `summary` under `key` atomically (tmp file + rename).
@@ -129,8 +183,7 @@ impl DiskStore {
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let result = std::fs::write(&tmp, encode_record(key, summary).to_string())
-            .and_then(|()| std::fs::rename(&tmp, self.record_path(key)));
+        let result = self.try_write(key, &tmp, summary);
         match result {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
@@ -333,6 +386,7 @@ mod tests {
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
             telemetry: None,
+            faults: None,
         }
         .with_telemetry(Some(Arc::clone(&telemetry)));
         store.put(&sample_key(), &sample_summary());
@@ -348,5 +402,98 @@ mod tests {
             "write failure must publish an event: {events:?}"
         );
         assert_eq!(telemetry.metrics.counter("disk_write_errors").get(), 1);
+    }
+
+    #[test]
+    fn injected_write_error_takes_the_counted_failure_path() {
+        use crate::faults::{FaultPolicy, Trigger};
+        let faults = Arc::new(FaultRegistry::new());
+        faults.configure(
+            site::DISK_WRITE,
+            FaultPolicy {
+                trigger: Trigger::Nth(1),
+                action: FaultAction::Error,
+            },
+        );
+        let store = tmp_store("inject-err").with_faults(Some(Arc::clone(&faults)));
+        let key = sample_key();
+        let summary = sample_summary();
+        store.put(&key, &summary); // injected failure
+        assert_eq!(store.stats().write_errors, 1);
+        assert!(store.get(&key).is_none());
+        store.put(&key, &summary); // trigger exhausted: real write
+        assert_eq!(store.stats().writes, 1);
+        assert!(store.get(&key).is_some());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn injected_corruption_is_a_counted_write_that_reads_as_miss_then_heals() {
+        use crate::faults::{FaultPolicy, Trigger};
+        let faults = Arc::new(FaultRegistry::new());
+        faults.configure(
+            site::DISK_WRITE,
+            FaultPolicy {
+                trigger: Trigger::Nth(1),
+                action: FaultAction::Corrupt,
+            },
+        );
+        let store = tmp_store("inject-corrupt").with_faults(Some(Arc::clone(&faults)));
+        let key = sample_key();
+        let summary = sample_summary();
+        store.put(&key, &summary);
+        // The torn record was "successfully" written — the write
+        // counter must not betray the corruption...
+        assert_eq!(
+            store.stats(),
+            DiskStats {
+                writes: 1,
+                ..DiskStats::default()
+            }
+        );
+        // ...and the read-side validation absorbs it as a miss.
+        assert!(store.get(&key).is_none(), "torn record must read as a miss");
+        // The next write heals the entry.
+        store.put(&key, &summary);
+        let healed = store.get(&key).expect("rewrite must heal the record");
+        assert_eq!(healed.to_json().to_string(), summary.to_json().to_string());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn injected_read_and_rename_faults_degrade_cleanly() {
+        use crate::faults::{FaultPolicy, Trigger};
+        let faults = Arc::new(FaultRegistry::new());
+        faults.configure(
+            site::DISK_READ,
+            FaultPolicy {
+                trigger: Trigger::EveryKth(2),
+                action: FaultAction::Error,
+            },
+        );
+        faults.configure(
+            site::DISK_RENAME,
+            FaultPolicy {
+                trigger: Trigger::Nth(1),
+                action: FaultAction::Error,
+            },
+        );
+        let store = tmp_store("inject-read").with_faults(Some(Arc::clone(&faults)));
+        let key = sample_key();
+        let summary = sample_summary();
+        store.put(&key, &summary); // rename injected away
+        assert_eq!(store.stats().write_errors, 1);
+        // No stray temp files after a failed rename.
+        let leftovers = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .count();
+        assert_eq!(leftovers, 0, "failed rename must clean its temp file");
+        store.put(&key, &summary); // lands for real
+        assert!(store.get(&key).is_some()); // read 1: clean
+        assert!(store.get(&key).is_none(), "read 2 hits the every-2nd fault");
+        assert!(store.get(&key).is_some()); // read 3: clean again
+        std::fs::remove_dir_all(store.dir()).ok();
     }
 }

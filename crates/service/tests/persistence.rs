@@ -24,6 +24,7 @@ fn config(cache_dir: &std::path::Path) -> ServiceConfig {
         cache_dir: Some(cache_dir.to_path_buf()),
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     }
 }
 

@@ -41,6 +41,7 @@ fn four_worker_batch_matches_serial_byte_for_byte() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let concurrent = service.run_batch(mixed_specs());
     let stats = service.shutdown();
@@ -83,6 +84,7 @@ fn duplicate_netlists_serialize_identically_across_modes() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let concurrent = service.run_batch(specs());
     service.shutdown();
@@ -126,6 +128,7 @@ fn search_threads_never_change_the_canonical_result_json() {
         cache_dir: None,
         telemetry: None,
         search_threads: Some(3),
+        ..ServiceConfig::default()
     });
     let outcome = service.submit(spec(None)).wait();
     service.shutdown();
@@ -158,6 +161,7 @@ fn resubmitted_netlist_is_answered_from_cache_without_saturation() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let spec =
         || JobSpec::generated(GenSpec::parse("csa:3").unwrap()).with_params(BooleParams::small());
@@ -213,6 +217,7 @@ fn cold_cache_stampede_runs_saturation_exactly_once() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let specs: Vec<JobSpec> = (0..6)
         .map(|_| {
@@ -250,6 +255,7 @@ fn cancelled_leader_does_not_strand_coalesced_followers() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let spec = || {
         JobSpec::generated(GenSpec::parse("csa:5").unwrap())
@@ -281,6 +287,7 @@ fn one_ms_deadline_cancels_cooperatively_without_poisoning_the_pool() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     // csa:8 saturates for many seconds under default params; a 1 ms
     // deadline must kill it long before that.
@@ -317,6 +324,7 @@ fn explicit_cancel_stops_a_large_job_mid_saturation() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     // Give the job a huge budget so only cancellation can stop it soon.
     let params = BooleParams {
@@ -368,6 +376,7 @@ fn queued_jobs_cancel_before_running() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let blocker = service.submit(
         JobSpec::generated(GenSpec::parse("csa:6").unwrap()).with_params(BooleParams::default()),
@@ -395,6 +404,7 @@ fn failed_sources_are_reported_not_panicked() {
         cache_dir: None,
         telemetry: None,
         search_threads: None,
+        ..ServiceConfig::default()
     });
     let missing = service.submit(JobSpec::aag_file("/nonexistent/never.aag"));
     let outcome = missing.wait();

@@ -33,6 +33,7 @@ fn job_of(kind: &EventKind) -> Option<u64> {
         | EventKind::Iteration { job, .. }
         | EventKind::CacheHit { job, .. }
         | EventKind::CacheMiss { job, .. }
+        | EventKind::JobRetry { job, .. }
         | EventKind::JobDone { job, .. } => Some(*job),
         EventKind::CacheEvicted { .. }
         | EventKind::DiskWriteError { .. }
@@ -109,6 +110,12 @@ fn assert_stream_invariants(events: &[TelemetryEvent]) {
                 }
                 EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => {
                     assert!(started, "job {job}: cache lookup before job_started");
+                }
+                EventKind::JobRetry { .. } => {
+                    assert_eq!(
+                        open_phase, None,
+                        "job {job}: retry announced inside an open phase"
+                    );
                 }
                 EventKind::JobDone { .. } => {
                     assert_eq!(open_phase, None, "job {job} finished inside an open phase");
