@@ -18,11 +18,31 @@
 //! `--label NAME` (recorded in the JSON), `--search-threads N`
 //! (parallel rule search inside each saturation; default 1 = serial,
 //! 0 = one thread per CPU; recorded in the JSON so baselines at
-//! different thread counts are never compared by accident), and
-//! `--verify-serial` (after each parallel run, rerun the config at
-//! one thread and assert the saturation outcome — sizes, iteration
-//! counts, stop reasons, match totals — is identical; the benchmark
-//! doubles as the determinism oracle).
+//! different thread counts are never compared by accident),
+//! `--per-pattern` (search with one compiled VM program per rule
+//! instead of the shared multi-pattern trie — the honest baseline the
+//! trie is measured against; recorded as `"shared_search": false`),
+//! `--compare-threads N` (after the main corpus pass, rerun the whole
+//! corpus at `N` search threads and record the second pass's totals
+//! under `"comparison"`, so one file holds both the serial baseline
+//! and a threaded data point), `--compare-per-pattern` (run each
+//! config under both matchers in an A,B,B,A pattern, keep the faster
+//! of each matcher's two runs, and record the per-pattern side under
+//! `"per_pattern_baseline"`; pairing the matchers within seconds of
+//! each other and discarding each one's cold run keeps box-level
+//! drift and per-config allocator warm-up — both ~10% effects, bigger
+//! than the matcher difference itself — out of the comparison), and
+//! `--verify-serial` (after each
+//! parallel run, rerun the config at one thread and assert the
+//! saturation outcome — sizes, iteration counts, stop reasons, match
+//! totals — is identical; the benchmark doubles as the determinism
+//! oracle).
+//!
+//! Timing semantics: `search_ms` counts only the e-matching fan-out;
+//! the serial merge/bookkeeping that demultiplexes per-rule match
+//! sets is reported separately as `merge_ms`. Baselines recorded
+//! before this split folded the merge into `search_ms`, so historical
+//! numbers are not directly comparable (see the `notes` field).
 
 use std::time::Instant;
 
@@ -112,6 +132,7 @@ fn record_json(r: &RunRecord) -> Json {
         ("r1_stop", r.stats.r1_stop.to_json()),
         ("r2_stop", r.stats.r2_stop.to_json()),
         ("search_ms", Json::from(ms(r.stats.search_time))),
+        ("merge_ms", Json::from(ms(r.stats.merge_time))),
         ("apply_ms", Json::from(ms(r.stats.apply_time))),
         ("rebuild_ms", Json::from(ms(r.stats.rebuild_time))),
         ("saturate_ms", Json::from(r.wall_ms)),
@@ -190,6 +211,172 @@ fn assert_outcome_identical(parallel: &RunRecord, serial: &RunRecord) {
     );
 }
 
+/// Per-phase wall-clock totals over one corpus pass, in milliseconds.
+#[derive(Default)]
+struct Totals {
+    search: f64,
+    merge: f64,
+    apply: f64,
+    rebuild: f64,
+}
+
+impl Totals {
+    fn json(&self) -> Json {
+        Json::obj([
+            ("search_ms", Json::from(self.search)),
+            ("merge_ms", Json::from(self.merge)),
+            ("apply_ms", Json::from(self.apply)),
+            ("rebuild_ms", Json::from(self.rebuild)),
+        ])
+    }
+}
+
+fn print_header() {
+    eprintln!(
+        "{:>8} {:>5} {:>7} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>10} {:>12}",
+        "family",
+        "bits",
+        "mapped",
+        "matcher",
+        "search",
+        "merge",
+        "apply",
+        "rebuild",
+        "total",
+        "matches",
+        "matches/s"
+    );
+}
+
+fn print_row(r: &RunRecord, matcher: &str) {
+    let search_s = r.stats.search_time.as_secs_f64();
+    eprintln!(
+        "{:>8} {:>5} {:>7} {:>8} | {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms | {:>10} {:>12.0}",
+        r.cfg.family,
+        r.cfg.bits,
+        r.cfg.mapped,
+        matcher,
+        ms(r.stats.search_time),
+        ms(r.stats.merge_time),
+        ms(r.stats.apply_time),
+        ms(r.stats.rebuild_time),
+        r.wall_ms,
+        r.stats.total_matches,
+        if search_s > 0.0 {
+            r.stats.total_matches as f64 / search_s
+        } else {
+            0.0
+        },
+    );
+}
+
+fn print_totals(tag: &str, totals: &Totals) {
+    eprintln!(
+        "{tag} totals: search {:.1}ms  merge {:.1}ms  apply {:.1}ms  rebuild {:.1}ms",
+        totals.search, totals.merge, totals.apply, totals.rebuild
+    );
+}
+
+impl Totals {
+    fn add(&mut self, r: &RunRecord) {
+        self.search += ms(r.stats.search_time);
+        self.merge += ms(r.stats.merge_time);
+        self.apply += ms(r.stats.apply_time);
+        self.rebuild += ms(r.stats.rebuild_time);
+    }
+}
+
+fn matcher_tag(p: &SaturateParams) -> &'static str {
+    if p.shared_search {
+        "trie"
+    } else {
+        "solo"
+    }
+}
+
+/// Runs the whole corpus once under `p`, printing a per-config row,
+/// and returns the records plus phase totals.
+fn run_corpus(
+    configs: &[Config],
+    p: &SaturateParams,
+    verify_serial: bool,
+) -> (Vec<RunRecord>, Totals) {
+    print_header();
+    let mut records = Vec::new();
+    let mut totals = Totals::default();
+    for &cfg in configs {
+        let r = run_one(cfg, p);
+        if verify_serial {
+            let serial = run_one(cfg, &p.clone().with_search_threads(1));
+            assert_outcome_identical(&r, &serial);
+        }
+        totals.add(&r);
+        print_row(&r, matcher_tag(p));
+        records.push(r);
+    }
+    print_totals("", &totals);
+    (records, totals)
+}
+
+/// Runs each config under `p` and `base` in an A,B,B,A pattern and
+/// keeps the faster (by search time) of each matcher's two runs. The
+/// first run of each matcher warms the allocator and page cache for
+/// this config's working set — measured at ~10% on a quiet 1-CPU box,
+/// large enough to swamp a single-digit matcher difference — and the
+/// mirrored order means slow box-level drift lands on both matchers
+/// symmetrically instead of on whichever whole-corpus pass ran
+/// second. Saturation is deterministic per (config, params), so the
+/// two runs differ only in timing and taking the min is sound.
+/// Returns (main records+totals, baseline records+totals).
+fn run_corpus_paired(
+    configs: &[Config],
+    p: &SaturateParams,
+    base: &SaturateParams,
+    verify_serial: bool,
+) -> (Vec<RunRecord>, Totals, Vec<RunRecord>, Totals) {
+    print_header();
+    let mut records = Vec::new();
+    let mut totals = Totals::default();
+    let mut base_records = Vec::new();
+    let mut base_totals = Totals::default();
+    for &cfg in configs {
+        let run = |params: &SaturateParams| {
+            let r = run_one(cfg, params);
+            if verify_serial {
+                let serial = run_one(cfg, &params.clone().with_search_threads(1));
+                assert_outcome_identical(&r, &serial);
+            }
+            print_row(&r, matcher_tag(params));
+            r
+        };
+        let min_by_search = |x: RunRecord, y: RunRecord| {
+            assert_eq!(
+                x.stats.total_matches, y.stats.total_matches,
+                "repeat run diverged on {:?}",
+                x.cfg
+            );
+            if x.stats.search_time <= y.stats.search_time {
+                x
+            } else {
+                y
+            }
+        };
+        let a1 = run(p);
+        let b1 = run(base);
+        let b2 = run(base);
+        let a2 = run(p);
+        let r = min_by_search(a1, a2);
+        let b = min_by_search(b1, b2);
+        totals.add(&r);
+        base_totals.add(&b);
+        records.push(r);
+        base_records.push(b);
+    }
+    print_totals("main (min of 2)", &totals);
+    print_totals("baseline (min of 2)", &base_totals);
+    (records, totals, base_records, base_totals)
+}
+
 fn main() {
     let smoke = boole_bench::arg_flag("--smoke");
     let args: Vec<String> = std::env::args().collect();
@@ -209,6 +396,10 @@ fn main() {
     let search_threads: usize = arg_str("--search-threads")
         .map(|s| s.parse().expect("--search-threads takes an integer"))
         .unwrap_or(1);
+    let per_pattern = boole_bench::arg_flag("--per-pattern");
+    let compare_threads: Option<usize> = arg_str("--compare-threads")
+        .map(|s| s.parse().expect("--compare-threads takes an integer"));
+    let compare_per_pattern = boole_bench::arg_flag("--compare-per-pattern");
     let verify_serial = boole_bench::arg_flag("--verify-serial");
 
     let mut p = params();
@@ -238,66 +429,82 @@ fn main() {
         }
         v
     };
-    p = p.with_search_threads(search_threads);
+    p = p
+        .with_search_threads(search_threads)
+        .with_shared_search(!per_pattern);
 
-    eprintln!(
-        "{:>8} {:>5} {:>7} | {:>9} {:>9} {:>9} {:>9} | {:>10} {:>12}",
-        "family", "bits", "mapped", "search", "apply", "rebuild", "total", "matches", "matches/s"
-    );
-    let mut records = Vec::new();
-    let mut search_total = 0.0;
-    let mut apply_total = 0.0;
-    let mut rebuild_total = 0.0;
-    for cfg in configs {
-        let r = run_one(cfg, &p);
-        if verify_serial {
-            let serial = run_one(cfg, &p.clone().with_search_threads(1));
-            assert_outcome_identical(&r, &serial);
-        }
-        search_total += ms(r.stats.search_time);
-        apply_total += ms(r.stats.apply_time);
-        rebuild_total += ms(r.stats.rebuild_time);
-        let search_s = r.stats.search_time.as_secs_f64();
-        eprintln!(
-            "{:>8} {:>5} {:>7} | {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms | {:>10} {:>12.0}",
-            r.cfg.family,
-            r.cfg.bits,
-            r.cfg.mapped,
-            ms(r.stats.search_time),
-            ms(r.stats.apply_time),
-            ms(r.stats.rebuild_time),
-            r.wall_ms,
-            r.stats.total_matches,
-            if search_s > 0.0 {
-                r.stats.total_matches as f64 / search_s
-            } else {
-                0.0
-            },
-        );
-        records.push(r);
-    }
-    eprintln!(
-        "totals: search {search_total:.1}ms  apply {apply_total:.1}ms  rebuild {rebuild_total:.1}ms"
-    );
+    let (records, totals, baseline) = if compare_per_pattern {
+        let bp = p.clone().with_shared_search(false);
+        eprintln!("paired main + per-pattern baseline pass (A,B,B,A per config, min of 2 kept)");
+        let (records, totals, base_records, base_totals) =
+            run_corpus_paired(&configs, &p, &bp, verify_serial);
+        (records, totals, Some((bp, base_records, base_totals)))
+    } else {
+        let (records, totals) = run_corpus(&configs, &p, verify_serial);
+        (records, totals, None)
+    };
 
-    let doc = Json::obj([
+    let mut fields = vec![
         ("bench", Json::str("satbench")),
         ("label", Json::str(label)),
         ("smoke", Json::from(smoke)),
         ("node_limit", Json::from(p.node_limit)),
         ("match_limit", Json::from(p.match_limit)),
         ("search_threads", Json::from(p.search_threads)),
+        ("shared_search", Json::from(p.shared_search)),
         (
-            "totals",
-            Json::obj([
-                ("search_ms", Json::from(search_total)),
-                ("apply_ms", Json::from(apply_total)),
-                ("rebuild_ms", Json::from(rebuild_total)),
-            ]),
+            "notes",
+            Json::str(
+                "search_ms is the e-matching fan-out only; the serial merge is \
+                 reported separately as merge_ms. Baseline history: files \
+                 before the timing split folded the merge (scheduler/profile \
+                 bookkeeping) into search_ms, and the pre-PR-9 committed file \
+                 was a search_threads:4 run from a single-CPU box — neither is \
+                 directly comparable to these numbers. Compare like with like: \
+                 the main pass vs per_pattern_baseline (same threads; per \
+                 config the two matchers run A,B,B,A and each side keeps its \
+                 faster run, so box drift and allocator warm-up cancel), or \
+                 the main pass vs comparison (same matcher).",
+            ),
         ),
+        ("totals", totals.json()),
         ("top_rules", top_rules_json(&records, 10)),
         ("runs", Json::arr(records.iter().map(record_json))),
-    ]);
+    ];
+    if let Some((bp, base_records, base_totals)) = baseline {
+        fields.push((
+            "per_pattern_baseline",
+            Json::obj([
+                ("search_threads", Json::from(bp.search_threads)),
+                ("shared_search", Json::from(bp.shared_search)),
+                (
+                    "methodology",
+                    Json::str(
+                        "per config: main,baseline,baseline,main back-to-back, \
+                         each side keeps its faster run (saturation is \
+                         deterministic, so repeats differ only in timing)",
+                    ),
+                ),
+                ("totals", base_totals.json()),
+                ("runs", Json::arr(base_records.iter().map(record_json))),
+            ]),
+        ));
+    }
+    if let Some(threads) = compare_threads {
+        eprintln!("--- comparison pass at {threads} search threads ---");
+        let cp = p.clone().with_search_threads(threads);
+        let (cmp_records, cmp_totals) = run_corpus(&configs, &cp, verify_serial);
+        fields.push((
+            "comparison",
+            Json::obj([
+                ("search_threads", Json::from(threads)),
+                ("shared_search", Json::from(cp.shared_search)),
+                ("totals", cmp_totals.json()),
+                ("runs", Json::arr(cmp_records.iter().map(record_json))),
+            ]),
+        ));
+    }
+    let doc = Json::obj(fields);
     let text = doc.pretty();
     match (out, smoke) {
         (Some(path), _) => {

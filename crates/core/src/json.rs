@@ -675,6 +675,7 @@ impl FromJson for SaturationStats {
             // canonical document (see `ToJson`); a summary reloaded
             // from the persistent store reports zero phase times.
             search_time: Duration::ZERO,
+            merge_time: Duration::ZERO,
             apply_time: Duration::ZERO,
             rebuild_time: Duration::ZERO,
             total_matches: total_matches.expect_usize("total_matches")?,
@@ -1096,6 +1097,7 @@ mod tests {
                     r2_iterations: i2,
                     pruned,
                     search_time: Duration::ZERO,
+                    merge_time: Duration::ZERO,
                     apply_time: Duration::ZERO,
                     rebuild_time: Duration::ZERO,
                     total_matches: matches,

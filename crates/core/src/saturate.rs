@@ -44,6 +44,14 @@ pub struct SaturateParams {
     /// this knob is excluded from cache-key fingerprints, like the
     /// cancel token.
     pub search_threads: usize,
+    /// Drive each iteration's search through the shared multi-pattern
+    /// trie (`egraph::RuleSetProgram`; the default) instead of one VM
+    /// program per rule. Either way yields byte-identical results —
+    /// the trie demultiplexes exactly the per-rule match sets — so
+    /// this knob is excluded from cache-key fingerprints, like
+    /// `search_threads`. Disabling it is only useful for differential
+    /// baselines and timing comparisons (`satbench --per-pattern`).
+    pub shared_search: bool,
     /// Cooperative cancellation token checked by both saturation
     /// phases. Defaults to a fresh (never-cancelled) token; clone a
     /// shared token in to make the run externally killable.
@@ -62,6 +70,7 @@ impl Default for SaturateParams {
             match_limit: 2_000,
             prune: true,
             search_threads: 1,
+            shared_search: true,
             cancel: CancelToken::new(),
         }
     }
@@ -105,6 +114,14 @@ impl SaturateParams {
         self.search_threads = threads;
         self
     }
+
+    /// Sets [`SaturateParams::shared_search`]. Never changes results —
+    /// only whether the search phase runs the shared multi-pattern
+    /// trie (the default) or one VM program per rule.
+    pub fn with_shared_search(mut self, enabled: bool) -> Self {
+        self.shared_search = enabled;
+        self
+    }
 }
 
 /// Statistics from a saturation run.
@@ -126,9 +143,14 @@ pub struct SaturationStats {
     pub r2_iterations: usize,
     /// Redundant e-nodes pruned.
     pub pruned: usize,
-    /// Time spent in the e-matching search phase, summed over all
-    /// iterations of both phases.
+    /// Time spent in the e-matching search phase (the parallel
+    /// fan-out only), summed over all iterations of both phases.
     pub search_time: Duration,
+    /// Time spent in the serial merge that demultiplexes and
+    /// bookkeeps per-rule match sets after each search fan-out,
+    /// summed over all iterations. Reported separately so
+    /// `search_time` stays an honest measure of matching work.
+    pub merge_time: Duration,
     /// Time spent applying matches, summed over all iterations.
     pub apply_time: Duration,
     /// Time spent rebuilding (congruence repair), summed over all
@@ -205,6 +227,7 @@ pub fn saturate_observed(
         .with_time_limit(params.time_limit / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
         .with_search_threads(params.search_threads)
+        .with_shared_search(params.shared_search)
         .with_cancel_token(params.cancel.clone());
     if let Some(obs) = observer.clone() {
         runner1 = runner1.with_iteration_hook(move |i, it| obs("r1", i, it));
@@ -214,12 +237,14 @@ pub fn saturate_observed(
     let r1_stop = runner1.stop_reason.clone().expect("phase 1 ran");
     let r1_iterations = runner1.iterations.len();
     let mut search_time = Duration::ZERO;
+    let mut merge_time = Duration::ZERO;
     let mut apply_time = Duration::ZERO;
     let mut rebuild_time = Duration::ZERO;
     let mut total_matches = 0usize;
     let mut accumulate = |iterations: &[egraph::Iteration]| {
         for it in iterations {
             search_time += it.search_time;
+            merge_time += it.merge_time;
             apply_time += it.apply_time;
             rebuild_time += it.rebuild_time;
             total_matches += it.total_matches;
@@ -234,6 +259,7 @@ pub fn saturate_observed(
         .with_time_limit(params.time_limit * 3 / 4)
         .with_scheduler(BackoffScheduler::new(params.match_limit, 2))
         .with_search_threads(params.search_threads)
+        .with_shared_search(params.shared_search)
         .with_cancel_token(params.cancel.clone());
     if let Some(obs) = observer {
         runner2 = runner2.with_iteration_hook(move |i, it| obs("r2", i, it));
@@ -262,6 +288,7 @@ pub fn saturate_observed(
         r2_iterations,
         pruned,
         search_time,
+        merge_time,
         apply_time,
         rebuild_time,
         total_matches,

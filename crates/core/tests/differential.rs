@@ -7,7 +7,9 @@
 
 use boole::convert::aig_to_egraph;
 use boole::{rules, saturate, BoolLang, SaturateParams};
-use egraph::{EGraph, Id, Pattern, SearchMatches, Subst};
+use egraph::{
+    CancelToken, EGraph, Id, Pattern, RuleDirective, RuleSetProgram, SearchMatches, Subst,
+};
 
 /// The benchmark netlists the patterns are matched against: a lone
 /// full adder, a ripple-carry stage, and a small CSA multiplier —
@@ -83,6 +85,48 @@ fn vm_matches_oracle_on_every_boole_rule_pattern() {
                 vm, oracle,
                 "match sets diverged for rule pattern {name} ({src}) on e-graph #{i}"
             );
+        }
+    }
+}
+
+#[test]
+fn shared_trie_matches_vm_and_oracle_on_full_ruleset() {
+    // The tentpole guarantee: compiling *every* BoolE rule LHS into
+    // one shared-prefix trie and searching the whole ruleset in a
+    // single pass demultiplexes exactly the per-rule match sets the
+    // single-pattern VM and the recursive oracle find — serial and
+    // threaded alike.
+    let egraphs = test_egraphs();
+    let rules: Vec<egraph::Rewrite<BoolLang, ()>> = rules::r1_rules()
+        .into_iter()
+        .chain(rules::r2_rules())
+        .collect();
+    assert!(rules.len() >= 197, "expected all 197 rules");
+    let patterns: Vec<&Pattern<BoolLang>> = rules.iter().map(|r| r.searcher()).collect();
+    let program = RuleSetProgram::compile(&patterns);
+    let directives = vec![RuleDirective::Limit(usize::MAX); patterns.len()];
+    for (i, eg) in egraphs.iter().enumerate() {
+        for threads in [1usize, 2] {
+            let slots = program.search(eg, &directives, &CancelToken::new(), None, threads);
+            assert_eq!(slots.len(), rules.len());
+            for (rule, slot) in rules.iter().zip(slots) {
+                let (matches, _) = slot.expect("no skip without cancel/deadline");
+                let shared = flatten(matches);
+                let solo = flatten(rule.searcher().search(eg));
+                let oracle = flatten(rule.searcher().search_oracle(eg));
+                assert_eq!(
+                    shared,
+                    solo,
+                    "shared trie vs per-pattern VM diverged for rule {} on e-graph #{i} at {threads} threads",
+                    rule.name()
+                );
+                assert_eq!(
+                    shared,
+                    oracle,
+                    "shared trie vs oracle diverged for rule {} on e-graph #{i}",
+                    rule.name()
+                );
+            }
         }
     }
 }

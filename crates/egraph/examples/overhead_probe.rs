@@ -1,0 +1,84 @@
+//! Micro-probe for the shared-trie matcher's two regimes: rulesets
+//! with heavy structural overlap (where one trie walk replaces many
+//! per-pattern walks) and match-dense rulesets with little overlap
+//! (where emission work dominates and sharing cannot help). Run with
+//!
+//! ```sh
+//! cargo run --release -p egraph --example overhead_probe
+//! ```
+//!
+//! to sanity-check that executor overhead has not regressed: the
+//! `identical` ruleset should be an integer factor faster shared than
+//! solo, and the `disjoint` ruleset should sit near parity.
+
+use egraph::{CancelToken, EGraph, Pattern, RuleDirective, RuleSetProgram, SymbolLang};
+use std::time::Instant;
+
+fn build_graph(classes: usize, width: usize) -> EGraph<SymbolLang> {
+    // Classes of f-nodes over a pool of leaves, two e-nodes per class
+    // (the second referencing the previous class, so patterns nest).
+    let mut eg: EGraph<SymbolLang> = EGraph::default();
+    let leaves: Vec<_> = (0..width)
+        .map(|k| eg.add(SymbolLang::leaf(format!("x{k}"))))
+        .collect();
+    let mut prev = leaves[0];
+    for c in 0..classes {
+        let a = leaves[c % width];
+        let b = leaves[(c / width) % width];
+        let n1 = eg.add(SymbolLang::new("f", vec![a, b]));
+        let n2 = eg.add(SymbolLang::new("f", vec![b, prev]));
+        eg.union(n1, n2);
+        prev = n1;
+    }
+    eg.rebuild();
+    eg
+}
+
+fn main() {
+    let eg = build_graph(2000, 40);
+    let cancel = CancelToken::new();
+
+    // Maximum sharing: every rule compiles to the same program, so
+    // the trie is a single path emitting for all fifty.
+    let identical: Vec<Pattern<SymbolLang>> = (0..50)
+        .map(|_| "(f (f ?a ?b) ?c)".parse().unwrap())
+        .collect();
+    // Five shapes diverging right after the root: sharing is shallow
+    // and the per-rule match emission dominates either way.
+    let disjoint: Vec<Pattern<SymbolLang>> = (0..50)
+        .map(|k| match k % 5 {
+            0 => "(f (f ?a ?b) (f ?b ?c))".parse().unwrap(),
+            1 => "(f (f ?a ?a) ?c)".parse().unwrap(),
+            2 => "(f ?a (f ?b ?c))".parse().unwrap(),
+            3 => "(f (f (f ?a ?b) ?c) ?d)".parse().unwrap(),
+            _ => "(f ?a (f ?b (f ?c ?d)))".parse().unwrap(),
+        })
+        .collect();
+
+    for (name, pats) in [("identical", &identical), ("disjoint", &disjoint)] {
+        let refs: Vec<&Pattern<SymbolLang>> = pats.iter().collect();
+        let prog = RuleSetProgram::compile(&refs);
+        let directives = vec![RuleDirective::Limit(usize::MAX); refs.len()];
+        let _ = prog.search(&eg, &directives, &cancel, None, 1); // warmup
+        let t = Instant::now();
+        for _ in 0..5 {
+            let _ = prog.search(&eg, &directives, &cancel, None, 1);
+        }
+        let shared = t.elapsed();
+        let t = Instant::now();
+        for _ in 0..5 {
+            for p in &refs {
+                let _ = p.search(&eg);
+            }
+        }
+        let solo = t.elapsed();
+        println!(
+            "{name:10} shared {:8.1}ms  solo {:8.1}ms  speedup {:.2}x  (trie nodes {} vs {} solo instructions)",
+            shared.as_secs_f64() * 1e3,
+            solo.as_secs_f64() * 1e3,
+            solo.as_secs_f64() / shared.as_secs_f64(),
+            prog.n_trie_nodes(),
+            prog.total_rule_instructions()
+        );
+    }
+}

@@ -4,7 +4,7 @@
 
 use proptest::{proptest, ProptestConfig, TestRng};
 
-use crate::{EGraph, Id, Pattern, SymbolLang};
+use crate::{CancelToken, EGraph, Id, Pattern, RuleDirective, RuleSetProgram, SymbolLang};
 
 type EG = EGraph<SymbolLang, ()>;
 
@@ -103,6 +103,87 @@ proptest! {
                 // every class, as the oracle does.
                 assert_eq!(vm, oracle, "pattern {pat} diverged on class {} (seed {seed:#x})", class.id);
             }
+        }
+    }
+
+    /// The shared multi-pattern trie demultiplexes *the entire pattern
+    /// set at once* into exactly the per-rule match sets the
+    /// single-pattern VM and the recursive oracle find — at 1, 2, and
+    /// N search threads.
+    #[test]
+    fn prop_trie_matches_vm_and_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let eg = random_egraph(&mut rng);
+        let patterns: Vec<Pattern<SymbolLang>> =
+            PATTERNS.iter().map(|s| s.parse().unwrap()).collect();
+        let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+        let prog = RuleSetProgram::compile(&refs);
+        let directives = vec![RuleDirective::Limit(usize::MAX); patterns.len()];
+        for threads in [1usize, 2, 5] {
+            let slots = prog.search(&eg, &directives, &CancelToken::new(), None, threads);
+            for ((pat, p), slot) in PATTERNS.iter().zip(&patterns).zip(slots) {
+                let (matches, _) = slot.expect("no rule may be skipped without a cancel/deadline");
+                let trie = flatten(matches);
+                let vm = flatten(p.search(&eg));
+                let oracle = flatten(p.search_oracle(&eg));
+                assert_eq!(trie, vm, "trie vs VM diverged on {pat} at {threads} threads (seed {seed:#x})");
+                assert_eq!(trie, oracle, "trie vs oracle diverged on {pat} (seed {seed:#x})");
+            }
+        }
+    }
+
+    /// Adversarial rule *pairs*: shared Bind prefixes diverging on a
+    /// Compare, ground-Lookup-only patterns, var-root Scans mixed with
+    /// bound roots, and duplicate LHSs — per-rule equality must hold
+    /// for every subset paired with every other subset.
+    #[test]
+    fn prop_trie_adversarial_pairs(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let eg = random_egraph(&mut rng);
+        const ADVERSARIAL: &[(&str, &str)] = &[
+            ("(g ?x ?x)", "(g ?x ?y)"),           // prefix diverging on Compare
+            ("(g (f ?x) (f ?x))", "(g (f ?x) ?y)"), // deeper shared Bind prefix
+            ("(f (g a b))", "a"),                  // ground-Lookup-only pair
+            ("?z", "(g ?x ?y)"),                   // Scan mixed with bound root
+            ("(g ?x ?y)", "(g ?x ?y)"),            // identical LHS twice
+            ("(g a ?x)", "(g ?x ?y)"),             // Lookup vs wildcard under one root
+        ];
+        for (a, b) in ADVERSARIAL {
+            let pa: Pattern<SymbolLang> = a.parse().unwrap();
+            let pb: Pattern<SymbolLang> = b.parse().unwrap();
+            let prog = RuleSetProgram::compile(&[&pa, &pb]);
+            let directives = [RuleDirective::Limit(usize::MAX); 2];
+            for threads in [1usize, 2] {
+                let slots = prog.search(&eg, &directives, &CancelToken::new(), None, threads);
+                for (p, slot) in [&pa, &pb].into_iter().zip(slots) {
+                    let (matches, _) = slot.expect("not skipped");
+                    assert_eq!(
+                        flatten(matches),
+                        flatten(p.search(&eg)),
+                        "pair ({a}, {b}) diverged on {p} (seed {seed:#x})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mid-search cancellation: a pre-set token must make the shared
+    /// search report every rule as skipped (no partial match sets leak
+    /// out of incomplete branches), at any thread count.
+    #[test]
+    fn prop_trie_cancellation_skips_all(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let eg = random_egraph(&mut rng);
+        let patterns: Vec<Pattern<SymbolLang>> =
+            PATTERNS.iter().map(|s| s.parse().unwrap()).collect();
+        let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+        let prog = RuleSetProgram::compile(&refs);
+        let directives = vec![RuleDirective::Limit(usize::MAX); patterns.len()];
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 3] {
+            let slots = prog.search(&eg, &directives, &token, None, threads);
+            assert!(slots.iter().all(Option::is_none), "seed {seed:#x}");
         }
     }
 }

@@ -136,7 +136,7 @@ impl Subst {
         self.vec.iter()
     }
 
-    fn canonicalize<L: Language, N: Analysis<L>>(&mut self, egraph: &EGraph<L, N>) {
+    pub(crate) fn canonicalize<L: Language, N: Analysis<L>>(&mut self, egraph: &EGraph<L, N>) {
         for (_, id) in &mut self.vec {
             *id = egraph.find(*id);
         }

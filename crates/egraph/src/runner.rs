@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::hash::FxHashMap;
+use crate::machine::{RuleDirective, RuleSetProgram};
 use crate::{Analysis, CancelToken, EGraph, Id, Language, RecExpr, Rewrite, SearchMatches, Symbol};
 
 /// Why a [`Runner`] stopped.
@@ -81,8 +82,16 @@ pub struct Iteration {
     /// Total substitutions found across all rules this iteration
     /// (after scheduling caps, before application).
     pub total_matches: usize,
-    /// Time spent searching for matches.
+    /// Time spent searching for matches — the search fan-out only.
+    /// The serial post-join merge ([`RewriteScheduler::finish_rewrite`]
+    /// accounting plus [`RuleProfile`] bookkeeping) is reported
+    /// separately as [`Iteration::merge_time`]; earlier versions
+    /// folded it into `search_time`, silently inflating it.
     pub search_time: Duration,
+    /// Time spent merging search results serially in rule-index order
+    /// (scheduler accounting and per-rule profile updates) after the
+    /// search fan-out joined.
+    pub merge_time: Duration,
     /// Time spent applying rules.
     pub apply_time: Duration,
     /// Time spent rebuilding.
@@ -92,7 +101,11 @@ pub struct Iteration {
     /// Rules *not* searched this iteration because the time limit or a
     /// cancel request tripped mid-search. Skipped rules contribute no
     /// matches and leave their [`RuleProfile`]s untouched, so per-rule
-    /// accounting only reflects searches that actually ran.
+    /// accounting only reflects searches that actually ran. Under the
+    /// shared multi-pattern search, a trip *mid-trie* reports every
+    /// rule of each not-fully-searched branch as skipped (partial
+    /// branch results are discarded), so the count never under-reports
+    /// which rules missed their search.
     pub rules_skipped: usize,
 }
 
@@ -171,13 +184,35 @@ pub trait RewriteScheduler<L: Language, N: Analysis<L>>: Send + Sync {
         let _ = iteration;
         true
     }
+
+    /// Describes this scheduler's search of one rule this iteration,
+    /// *if* it is expressible as "skip, or search with a substitution
+    /// limit". When every rule answers `Some`, the runner may drive
+    /// the shared multi-pattern trie ([`RuleSetProgram`]) instead of
+    /// per-rule [`RewriteScheduler::search_rewrite`] calls — the match
+    /// sets handed to [`RewriteScheduler::finish_rewrite`] are
+    /// identical either way (see [`RuleSetProgram`]'s exactness
+    /// notes). Schedulers with bespoke search logic keep the default
+    /// `None`, which forces the per-rule path.
+    fn search_directive(&self, iteration: usize, rewrite: &Rewrite<L, N>) -> Option<RuleDirective> {
+        let _ = (iteration, rewrite);
+        None
+    }
 }
 
 /// A scheduler that always searches every rule exhaustively.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimpleScheduler;
 
-impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for SimpleScheduler {}
+impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for SimpleScheduler {
+    fn search_directive(
+        &self,
+        _iteration: usize,
+        _rewrite: &Rewrite<L, N>,
+    ) -> Option<RuleDirective> {
+        Some(RuleDirective::Limit(usize::MAX))
+    }
+}
 
 /// Exponential-backoff scheduler (like `egg`'s `BackoffScheduler`).
 ///
@@ -282,6 +317,15 @@ impl<L: Language, N: Analysis<L>> RewriteScheduler<L, N> for BackoffScheduler {
     fn can_stop(&mut self, iteration: usize) -> bool {
         self.stats.values().all(|s| iteration >= s.banned_until)
     }
+
+    fn search_directive(&self, iteration: usize, rewrite: &Rewrite<L, N>) -> Option<RuleDirective> {
+        let (banned_until, allowed) = self.limits(rewrite.name());
+        Some(if iteration < banned_until {
+            RuleDirective::Skip
+        } else {
+            RuleDirective::Limit(allowed)
+        })
+    }
 }
 
 /// Drives equality saturation: repeatedly search all rules, apply the
@@ -315,6 +359,7 @@ pub struct Runner<L: Language, N: Analysis<L> = ()> {
     cancel: CancelToken,
     iteration_hook: Option<IterationHook>,
     search_threads: usize,
+    shared_search: bool,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
@@ -349,6 +394,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             cancel: CancelToken::new(),
             iteration_hook: None,
             search_threads: 1,
+            shared_search: true,
         }
     }
 
@@ -430,6 +476,19 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Enables or disables the shared multi-pattern search (default
+    /// *enabled*). When enabled and the scheduler answers
+    /// [`RewriteScheduler::search_directive`] for every rule, each
+    /// iteration's search compiles all rule LHS programs into one
+    /// [`RuleSetProgram`] trie (once per run) and walks each root-op
+    /// bucket of the e-graph once, instead of once per rule. Match
+    /// sets are identical either way; disabling is useful as a
+    /// differential baseline and for timing comparisons.
+    pub fn with_shared_search(mut self, enabled: bool) -> Self {
+        self.shared_search = enabled;
+        self
+    }
+
     /// Runs saturation with `rules` until a stop condition; returns
     /// `self` with statistics filled in.
     pub fn run(mut self, rules: &[Rewrite<L, N>]) -> Self
@@ -448,24 +507,48 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             n => n,
         }
         .min(rules.len().max(1));
+        // The shared multi-pattern trie is compiled lazily, once per
+        // run, the first iteration the scheduler's directives allow it.
+        let mut shared_program: Option<RuleSetProgram<L>> = None;
         for iteration in 0..self.limits.iter_limit {
             if self.cancel.is_cancelled() {
                 self.stop_reason = Some(StopReason::Cancelled);
                 return self;
             }
-            let iter_start = Instant::now();
+            let search_start = Instant::now();
             // Search phase (time limit and cancellation enforced per
-            // rule, not only per iteration, so one explosive rule
+            // rule — or per trie branch and class under the shared
+            // search — not only per iteration, so one explosive rule
             // cannot stall the run or delay a cancel request). The
             // searches only read the e-graph; scheduler state and
             // profiles are updated afterwards, serially, in rule-index
             // order, so the fan-out below never changes results.
-            let searched = if threads > 1 {
-                self.search_parallel(rules, iteration, start, threads)
+            let directives: Option<Vec<RuleDirective>> = if self.shared_search {
+                rules
+                    .iter()
+                    .map(|r| self.scheduler.search_directive(iteration, r))
+                    .collect()
             } else {
-                self.search_serial(rules, iteration, start)
+                None
             };
+            let searched = match directives {
+                Some(directives) => {
+                    let program = shared_program.get_or_insert_with(|| {
+                        let patterns: Vec<_> = rules.iter().map(|r| r.searcher()).collect();
+                        RuleSetProgram::compile(&patterns)
+                    });
+                    let deadline = start.checked_add(self.limits.time_limit);
+                    program.search(&self.egraph, &directives, &self.cancel, deadline, threads)
+                }
+                None if threads > 1 => self.search_parallel(rules, iteration, start, threads),
+                None => self.search_serial(rules, iteration, start),
+            };
+            let search_time = search_start.elapsed();
 
+            // Merge phase: serial, rule-index order, regardless of how
+            // the searches fanned out. Timed separately from the
+            // search — scheduler accounting is not match finding.
+            let merge_start = Instant::now();
             let mut all_matches = Vec::with_capacity(rules.len());
             let mut rules_skipped = 0usize;
             for (rule, slot) in rules.iter().zip(searched) {
@@ -486,7 +569,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 }
             }
             let total_matches = all_matches.iter().flatten().map(|m| m.substs.len()).sum();
-            let search_time = iter_start.elapsed();
+            let merge_time = merge_start.elapsed();
 
             // Apply phase. The node limit is also enforced *between*
             // rules so a single explosive iteration cannot overshoot by
@@ -526,6 +609,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 applied,
                 total_matches,
                 search_time,
+                merge_time,
                 apply_time,
                 rebuild_time,
                 n_rebuilds,
@@ -923,6 +1007,93 @@ mod tests {
             assert_eq!(
                 message, "scheduler exploded on purpose",
                 "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_search_is_identical_to_per_pattern() {
+        let expr: RecExpr<SymbolLang> = "(* (+ a (+ b (+ c (+ d 0)))) 1)".parse().unwrap();
+        // Tight backoff so bans fire: the shared trie must reproduce
+        // the per-pattern ban schedule (and everything downstream of
+        // it) exactly, at every thread count.
+        let run_with = |shared: bool, threads: usize| {
+            Runner::default()
+                .with_expr(&expr)
+                .with_scheduler(BackoffScheduler::new(4, 2))
+                .with_iter_limit(12)
+                .with_node_limit(20_000)
+                .with_shared_search(shared)
+                .with_search_threads(threads)
+                .run(&math_rules())
+        };
+        let baseline = run_with(false, 1);
+        for (shared, threads) in [(true, 1), (true, 2), (true, 4)] {
+            let candidate = run_with(shared, threads);
+            assert_eq!(
+                candidate.stop_reason, baseline.stop_reason,
+                "shared={shared} threads={threads}"
+            );
+            assert_eq!(candidate.iterations.len(), baseline.iterations.len());
+            for (c, b) in candidate.iterations.iter().zip(&baseline.iterations) {
+                assert_eq!(c.egraph_nodes, b.egraph_nodes);
+                assert_eq!(c.egraph_classes, b.egraph_classes);
+                assert_eq!(c.applied, b.applied);
+                assert_eq!(c.total_matches, b.total_matches);
+                assert_eq!(c.rules_skipped, 0);
+            }
+            let (b_cost, b_best) =
+                Extractor::new(&baseline.egraph, AstSize).find_best(baseline.roots[0]);
+            let (c_cost, c_best) =
+                Extractor::new(&candidate.egraph, AstSize).find_best(candidate.roots[0]);
+            assert_eq!(c_cost, b_cost);
+            assert_eq!(c_best.to_string(), b_best.to_string());
+        }
+    }
+
+    #[test]
+    fn shared_search_matches_simple_scheduler_too() {
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c 0)))".parse().unwrap();
+        let run_with = |shared: bool| {
+            Runner::default()
+                .with_expr(&expr)
+                .with_scheduler(SimpleScheduler)
+                .with_iter_limit(4)
+                .with_node_limit(50_000)
+                .with_shared_search(shared)
+                .run(&math_rules())
+        };
+        let per_pattern = run_with(false);
+        let shared = run_with(true);
+        assert_eq!(shared.stop_reason, per_pattern.stop_reason);
+        assert_eq!(shared.iterations.len(), per_pattern.iterations.len());
+        for (s, p) in shared.iterations.iter().zip(&per_pattern.iterations) {
+            assert_eq!(s.egraph_nodes, p.egraph_nodes);
+            assert_eq!(s.applied, p.applied);
+            assert_eq!(s.total_matches, p.total_matches);
+        }
+    }
+
+    #[test]
+    fn per_rule_search_times_sum_to_at_most_search_phase_time() {
+        // The honest-timing regression test: per-rule search slots are
+        // disjoint shares of the search fan-out, so their sum can never
+        // exceed the reported search phase time (it used to, because
+        // `search_time` silently included the post-join merge loop).
+        let expr: RecExpr<SymbolLang> = "(* (+ a (+ b (+ c (+ d 0)))) 1)".parse().unwrap();
+        for shared in [true, false] {
+            let runner = Runner::default()
+                .with_expr(&expr)
+                .with_iter_limit(8)
+                .with_node_limit(20_000)
+                .with_shared_search(shared)
+                .run(&math_rules());
+            let phase_total: Duration = runner.iterations.iter().map(|i| i.search_time).sum();
+            let rule_total: Duration = runner.rule_profiles.values().map(|p| p.search_time).sum();
+            assert!(
+                rule_total <= phase_total,
+                "shared={shared}: per-rule search times ({rule_total:?}) exceed the \
+                 search phase total ({phase_total:?})"
             );
         }
     }

@@ -330,6 +330,7 @@ mod tests {
                 r2_iterations: 0,
                 pruned: 0,
                 search_time: Duration::ZERO,
+                merge_time: Duration::ZERO,
                 apply_time: Duration::ZERO,
                 rebuild_time: Duration::ZERO,
                 total_matches: 0,

@@ -465,6 +465,7 @@ impl JobOutcome {
             // document). A cache-served summary reports zeros.
             let sat = &summary.saturation;
             pairs.push(("search_ms".to_owned(), Json::duration_ms(sat.search_time)));
+            pairs.push(("merge_ms".to_owned(), Json::duration_ms(sat.merge_time)));
             pairs.push(("apply_ms".to_owned(), Json::duration_ms(sat.apply_time)));
             pairs.push(("rebuild_ms".to_owned(), Json::duration_ms(sat.rebuild_time)));
             pairs.push(("total_matches".to_owned(), Json::from(sat.total_matches)));
@@ -576,6 +577,7 @@ mod tests {
                             r2_iterations: iters,
                             pruned: n1 / 3,
                             search_time: Duration::ZERO,
+                            merge_time: Duration::ZERO,
                             apply_time: Duration::ZERO,
                             rebuild_time: Duration::ZERO,
                             total_matches: n1 + n2,
