@@ -1,10 +1,16 @@
 //! Differential tests: the compiled e-matching VM must find exactly
 //! the same match sets as the legacy recursive backtracking matcher
-//! (kept as [`Pattern::search_oracle`]) on randomized e-graphs.
+//! (kept as [`Pattern::search_oracle`]) on randomized e-graphs — and
+//! every pluggable [`SearchBackend`] (per-pattern VM, shared trie,
+//! relational generic join, oracle) must agree with all of them, at
+//! any thread count, under cancellation, and across merges.
 
 use proptest::{proptest, ProptestConfig, TestRng};
 
-use crate::{CancelToken, EGraph, Id, Pattern, RuleDirective, RuleSetProgram, SymbolLang};
+use crate::{
+    make_backend, CancelToken, EGraph, Id, Pattern, RuleDirective, RuleSetProgram,
+    SearchBackendKind, SymbolLang,
+};
 
 type EG = EGraph<SymbolLang, ()>;
 
@@ -163,6 +169,146 @@ proptest! {
                         "pair ({a}, {b}) diverged on {p} (seed {seed:#x})"
                     );
                 }
+            }
+        }
+    }
+
+    /// All four pluggable backends (per-pattern VM, shared trie,
+    /// relational generic join, recursive oracle) produce identical
+    /// per-rule slots over the whole pattern set — at 1, 2, and N
+    /// search threads — with the single-pattern VM as the reference.
+    #[test]
+    fn prop_all_backends_agree(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let eg = random_egraph(&mut rng);
+        let patterns: Vec<Pattern<SymbolLang>> =
+            PATTERNS.iter().map(|s| s.parse().unwrap()).collect();
+        let reference: Vec<_> = patterns.iter().map(|p| flatten(p.search(&eg))).collect();
+        let directives = vec![RuleDirective::Limit(usize::MAX); patterns.len()];
+        for &kind in SearchBackendKind::all() {
+            let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+            let mut backend = make_backend::<SymbolLang, ()>(kind, refs);
+            for threads in [1usize, 2, 5] {
+                let result = backend.search(&eg, &directives, &CancelToken::new(), None, threads);
+                for ((pat, expected), slot) in
+                    PATTERNS.iter().zip(&reference).zip(result.slots)
+                {
+                    let (matches, _) = slot.expect("no rule may be skipped without a cancel/deadline");
+                    assert_eq!(
+                        &flatten(matches), expected,
+                        "{kind} vs VM diverged on {pat} at {threads} threads (seed {seed:#x})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Backoff-style envelopes: every backend masks over-limit rules
+    /// and honors `Skip` directives identically. Limits small enough
+    /// to bind are exercised because truncation points must align
+    /// across backends (the "finish the class, then mask" discipline).
+    #[test]
+    fn prop_all_backends_agree_under_directives(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let eg = random_egraph(&mut rng);
+        let patterns: Vec<Pattern<SymbolLang>> =
+            PATTERNS.iter().map(|s| s.parse().unwrap()).collect();
+        let directives: Vec<RuleDirective> = (0..patterns.len())
+            .map(|i| match i % 4 {
+                0 => RuleDirective::Skip,
+                1 => RuleDirective::Limit(1),
+                2 => RuleDirective::Limit(rng.below(8) as usize),
+                _ => RuleDirective::Limit(usize::MAX),
+            })
+            .collect();
+        let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+        let mut reference_backend =
+            make_backend::<SymbolLang, ()>(SearchBackendKind::PerPatternVm, refs);
+        let reference = reference_backend.search(&eg, &directives, &CancelToken::new(), None, 1);
+        for &kind in SearchBackendKind::all() {
+            let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+            let mut backend = make_backend::<SymbolLang, ()>(kind, refs);
+            for threads in [1usize, 2] {
+                let result = backend.search(&eg, &directives, &CancelToken::new(), None, threads);
+                for ((pat, expected), slot) in
+                    PATTERNS.iter().zip(&reference.slots).zip(result.slots)
+                {
+                    let expected = expected.as_ref().map(|(m, _)| flatten(m.clone()));
+                    let got = slot.map(|(m, _)| flatten(m));
+                    assert_eq!(
+                        got, expected,
+                        "{kind} diverged under directives on {pat} at {threads} threads (seed {seed:#x})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Relation staleness: a relational backend reused across a merge
+    /// and rebuild must not serve pre-merge tuples — its post-merge
+    /// results must equal a freshly built backend's (and the VM's).
+    #[test]
+    fn prop_relational_store_invalidated_by_merges(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let mut eg = random_egraph(&mut rng);
+        let patterns: Vec<Pattern<SymbolLang>> =
+            PATTERNS.iter().map(|s| s.parse().unwrap()).collect();
+        let directives = vec![RuleDirective::Limit(usize::MAX); patterns.len()];
+        let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+        let mut stale = make_backend::<SymbolLang, ()>(SearchBackendKind::Relational, refs);
+        // Populate the backend's tuple cache on the pre-merge state.
+        stale.search(&eg, &directives, &CancelToken::new(), None, 1);
+        // Merge two random classes and rebuild.
+        let classes: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        let a = classes[rng.below(classes.len() as u64) as usize];
+        let b = classes[rng.below(classes.len() as u64) as usize];
+        eg.union(a, b);
+        eg.rebuild();
+        let stale_result = stale.search(&eg, &directives, &CancelToken::new(), None, 1);
+        let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+        let mut fresh = make_backend::<SymbolLang, ()>(SearchBackendKind::Relational, refs);
+        let fresh_result = fresh.search(&eg, &directives, &CancelToken::new(), None, 1);
+        for (((pat, p), stale_slot), fresh_slot) in PATTERNS
+            .iter()
+            .zip(&patterns)
+            .zip(stale_result.slots)
+            .zip(fresh_result.slots)
+        {
+            let stale_matches = flatten(stale_slot.expect("not skipped").0);
+            assert_eq!(
+                stale_matches,
+                flatten(fresh_slot.expect("not skipped").0),
+                "reused relational backend diverged from fresh on {pat} (seed {seed:#x})"
+            );
+            assert_eq!(
+                stale_matches,
+                flatten(p.search(&eg)),
+                "reused relational backend diverged from VM on {pat} (seed {seed:#x})"
+            );
+        }
+    }
+
+    /// Mid-search cancellation over every backend: a pre-set token
+    /// must make the search report every rule as skipped (no partial
+    /// match sets leak), at any thread count.
+    #[test]
+    fn prop_backend_cancellation_skips_all(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::seeded(seed);
+        let eg = random_egraph(&mut rng);
+        let patterns: Vec<Pattern<SymbolLang>> =
+            PATTERNS.iter().map(|s| s.parse().unwrap()).collect();
+        let directives = vec![RuleDirective::Limit(usize::MAX); patterns.len()];
+        let token = CancelToken::new();
+        token.cancel();
+        for &kind in SearchBackendKind::all() {
+            let refs: Vec<&Pattern<SymbolLang>> = patterns.iter().collect();
+            let mut backend = make_backend::<SymbolLang, ()>(kind, refs);
+            for threads in [1usize, 3] {
+                let result = backend.search(&eg, &directives, &token, None, threads);
+                assert!(
+                    result.slots.iter().all(Option::is_none),
+                    "{kind} leaked slots under a pre-set cancel (seed {seed:#x})"
+                );
             }
         }
     }

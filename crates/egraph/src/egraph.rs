@@ -81,6 +81,12 @@ pub struct EGraph<L: Language, N: Analysis<L> = ()> {
     /// Scratch buffer reused across [`EGraph::rebuild`] calls to avoid
     /// re-allocating the live-id worklist every iteration.
     scratch_ids: Vec<Id>,
+    /// Mutation epoch: incremented by every state change ([`EGraph::add`]
+    /// of a new node, a merging [`EGraph::union`], node removal in
+    /// [`EGraph::retain_nodes`]). Derived read-side structures — the
+    /// relational backend's per-operator tuple stores — key their caches
+    /// on this counter so a merge invalidates them.
+    version: u64,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
@@ -107,6 +113,7 @@ where
             n_live_classes: self.n_live_classes,
             n_nodes: self.n_nodes,
             scratch_ids: Vec::new(),
+            version: self.version,
         }
     }
 }
@@ -137,7 +144,17 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             n_live_classes: 0,
             n_nodes: 0,
             scratch_ids: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// The mutation epoch: a counter bumped by every state change (new
+    /// e-node, merging union, node removal). Two reads of the same
+    /// version observe an identical e-graph, so derived structures (the
+    /// relational backend's tuple stores) can be cached keyed on it and
+    /// are automatically invalidated by any merge.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The classes containing at least one e-node with `op`'s
@@ -260,6 +277,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         }));
         self.n_live_classes += 1;
         self.n_nodes += 1;
+        self.version += 1;
         self.memo.insert(enode, id);
         self.clean = false;
         N::modify(self, id);
@@ -301,6 +319,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.unionfind.union_roots(to, from);
         self.n_unions += 1;
         self.n_live_classes -= 1;
+        self.version += 1;
         self.clean = false;
 
         let from_class = self.classes[from.index()]
@@ -444,6 +463,9 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             });
         }
         self.n_nodes -= removed;
+        if removed > 0 {
+            self.version += 1;
+        }
         removed
     }
 
@@ -485,6 +507,31 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                     "memo must map node to its class"
                 );
             }
+        }
+        // The operator index must be compact: each bucket holds exactly
+        // the live canonical classes containing that operator, once
+        // each, in ascending id order (Scan passes and relation builds
+        // rely on never revisiting a merged class).
+        let mut expected: FxHashMap<L::Discriminant, Vec<Id>> = FxHashMap::default();
+        for class in self.classes() {
+            for node in &class.nodes {
+                let bucket = expected.entry(node.discriminant()).or_default();
+                if bucket.last() != Some(&class.id) {
+                    bucket.push(class.id);
+                }
+            }
+        }
+        assert_eq!(
+            self.by_op.values().filter(|b| !b.is_empty()).count(),
+            expected.len(),
+            "by_op must have exactly one non-empty bucket per live operator"
+        );
+        for (disc, bucket) in &expected {
+            assert_eq!(
+                self.by_op.get(disc),
+                Some(bucket),
+                "by_op bucket must list each live canonical class once, ascending"
+            );
         }
     }
 }
@@ -598,6 +645,73 @@ mod tests {
         // Lookup for the removed node now misses.
         assert_eq!(eg.lookup(&SymbolLang::new("+", vec![b, a])), None);
         assert!(eg.lookup(&SymbolLang::new("+", vec![a, b])).is_some());
+    }
+
+    #[test]
+    fn by_op_buckets_stay_compact_after_merges() {
+        // Merge-heavy workload: many `f`/`g` applications collapsing
+        // into few classes. After every rebuild, each `by_op` bucket
+        // must list exactly the *live canonical* classes containing the
+        // operator — once each — or Scan passes and relation builds
+        // would revisit merged classes.
+        let mut eg = EG::default();
+        let leaves: Vec<Id> = (0..8)
+            .map(|i| eg.add(SymbolLang::leaf(format!("x{i}"))))
+            .collect();
+        let mut apps = Vec::new();
+        for &a in &leaves {
+            for &b in &leaves {
+                apps.push(eg.add(SymbolLang::new("f", vec![a, b])));
+                apps.push(eg.add(SymbolLang::new("g", vec![b, a])));
+            }
+        }
+        eg.rebuild();
+        // Collapse all leaves into one class, then all apps into one.
+        for w in leaves.windows(2) {
+            eg.union(w[0], w[1]);
+        }
+        eg.rebuild();
+        eg.check_invariants();
+        for op in ["f", "g"] {
+            let disc = SymbolLang::leaf(op).discriminant();
+            let bucket = eg.classes_with_op(&disc);
+            let live: Vec<Id> = eg
+                .classes()
+                .filter(|c| c.iter().any(|n| n.discriminant() == disc))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(bucket, live.as_slice(), "op {op}");
+        }
+        eg.union(apps[0], apps[1]);
+        eg.rebuild();
+        eg.check_invariants();
+        // One class holds all `f` and all `g` nodes now; each bucket
+        // must mention it exactly once.
+        let f = SymbolLang::leaf("f").discriminant();
+        assert_eq!(eg.classes_with_op(&f).len(), 1);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut eg = EG::default();
+        let v0 = eg.version();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        assert!(eg.version() > v0);
+        let v_add = eg.version();
+        // Re-adding an existing node is a no-op: version unchanged.
+        eg.add(SymbolLang::leaf("a"));
+        assert_eq!(eg.version(), v_add);
+        eg.union(a, b);
+        assert!(eg.version() > v_add);
+        let v_union = eg.version();
+        // A no-op union leaves the version alone.
+        eg.union(a, b);
+        assert_eq!(eg.version(), v_union);
+        eg.rebuild();
+        let v_clean = eg.version();
+        eg.rebuild();
+        assert_eq!(eg.version(), v_clean, "idle rebuild must not bump");
     }
 
     #[test]

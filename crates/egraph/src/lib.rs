@@ -12,6 +12,9 @@
 //!   backtracking e-matcher.
 //! * [`Rewrite`] / [`Runner`] — rewrite rules and a saturation driver
 //!   with iteration, node, and time limits plus backoff scheduling.
+//! * [`SearchBackend`] / [`SearchBackendKind`] — pluggable e-matching
+//!   strategies (per-pattern VM, shared-prefix trie, generic-join
+//!   relational), all match-set-equal.
 //! * [`Extractor`] — cost-based term extraction with pluggable
 //!   [`CostFunction`]s.
 //!
@@ -37,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 mod cancel;
 #[cfg(test)]
 mod differential;
@@ -47,11 +51,13 @@ mod language;
 pub mod machine;
 mod pattern;
 mod recexpr;
+mod relational;
 mod rewrite;
 mod runner;
 mod symbol;
 mod unionfind;
 
+pub use crate::backend::{make_backend, BackendSearch, SearchBackend, SearchBackendKind};
 pub use crate::cancel::CancelToken;
 pub use crate::egraph::{EClass, EGraph};
 pub use crate::extract::{AstDepth, AstSize, CostFunction, Extractor};

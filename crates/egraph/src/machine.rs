@@ -1,7 +1,7 @@
 //! The compiled e-matching virtual machine.
 //!
 //! Following the abstract-machine design of egg (Willsey et al., POPL
-//! 2021), every [`Pattern`](crate::Pattern) is compiled **once** (at
+//! 2021), every [`Pattern`] is compiled **once** (at
 //! construction) into a linear [`Program`] of instructions executed
 //! against a bank of registers holding e-class [`Id`]s:
 //!
@@ -21,8 +21,8 @@
 //! allocates or clones a substitution while searching: bindings live in
 //! the register bank, and a [`Subst`] is materialized only for each
 //! *surviving* match. The work budget
-//! ([`MATCH_WORK_BUDGET`](crate::MATCH_WORK_BUDGET)), the per-class
-//! match cap ([`MAX_SUBSTS_PER_CLASS`](crate::MAX_SUBSTS_PER_CLASS)),
+//! ([`MATCH_WORK_BUDGET`]), the per-class
+//! match cap ([`MAX_SUBSTS_PER_CLASS`]),
 //! and a cooperative [`CancelToken`] are all enforced *inside* the VM
 //! loop, so cancellation latency is bounded by
 //! [`CANCEL_CHECK_QUANTUM`] e-node visits rather than by a whole rule
@@ -1102,7 +1102,7 @@ impl<L: Language> RuleSetProgram<L> {
     }
 }
 
-fn past(deadline: Option<Instant>) -> bool {
+pub(crate) fn past(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() > d)
 }
 
@@ -1432,7 +1432,7 @@ impl<L: Language> MultiMachine<'_, L> {
 
 /// Computes, for each pattern node, whether its subtree is ground
 /// (contains no variables).
-fn ground_map<L: Language>(ast: &RecExpr<ENodeOrVar<L>>) -> Vec<bool> {
+pub(crate) fn ground_map<L: Language>(ast: &RecExpr<ENodeOrVar<L>>) -> Vec<bool> {
     let mut ground = vec![false; ast.len()];
     for (i, node) in ast.iter().enumerate() {
         ground[i] = match node {
@@ -1446,7 +1446,10 @@ fn ground_map<L: Language>(ast: &RecExpr<ENodeOrVar<L>>) -> Vec<bool> {
 /// Copies the ground subtree rooted at `pat` out of the pattern AST
 /// into a standalone [`RecExpr`] suitable for
 /// [`EGraph::lookup_expr`].
-fn extract_ground_term<L: Language>(ast: &RecExpr<ENodeOrVar<L>>, pat: Id) -> RecExpr<L> {
+pub(crate) fn extract_ground_term<L: Language>(
+    ast: &RecExpr<ENodeOrVar<L>>,
+    pat: Id,
+) -> RecExpr<L> {
     RecExpr::from_root_and_fn(pat, |id| match &ast[id] {
         ENodeOrVar::ENode(n) => n.clone(),
         ENodeOrVar::Var(_) => unreachable!("ground subterms contain no variables"),

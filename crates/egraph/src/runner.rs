@@ -6,8 +6,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::backend::{make_backend, SearchBackend, SearchBackendKind};
 use crate::hash::FxHashMap;
-use crate::machine::{RuleDirective, RuleSetProgram};
+use crate::machine::RuleDirective;
 use crate::{Analysis, CancelToken, EGraph, Id, Language, RecExpr, Rewrite, SearchMatches, Symbol};
 
 /// Why a [`Runner`] stopped.
@@ -83,7 +84,7 @@ pub struct Iteration {
     /// (after scheduling caps, before application).
     pub total_matches: usize,
     /// Time spent searching for matches — the search fan-out only.
-    /// The serial post-join merge ([`RewriteScheduler::finish_rewrite`]
+    /// The serial post-join merge (`RewriteScheduler::finish_rewrite`
     /// accounting plus [`RuleProfile`] bookkeeping) is reported
     /// separately as [`Iteration::merge_time`]; earlier versions
     /// folded it into `search_time`, silently inflating it.
@@ -96,6 +97,14 @@ pub struct Iteration {
     pub apply_time: Duration,
     /// Time spent rebuilding.
     pub rebuild_time: Duration,
+    /// Time the search backend spent (re)building shared index
+    /// structures this iteration — the relational backend's
+    /// per-operator tuple stores. Zero for backends without a build
+    /// step and on iterations served from a still-valid cache. Counted
+    /// inside [`Iteration::search_time`] (the build happens in the
+    /// search phase); reported separately so backend comparisons can
+    /// attribute it.
+    pub relation_build_time: Duration,
     /// Unions performed by congruence repair during rebuild.
     pub n_rebuilds: usize,
     /// Rules *not* searched this iteration because the time limit or a
@@ -359,7 +368,7 @@ pub struct Runner<L: Language, N: Analysis<L> = ()> {
     cancel: CancelToken,
     iteration_hook: Option<IterationHook>,
     search_threads: usize,
-    shared_search: bool,
+    backend: SearchBackendKind,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
@@ -394,7 +403,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             cancel: CancelToken::new(),
             iteration_hook: None,
             search_threads: 1,
-            shared_search: true,
+            backend: SearchBackendKind::default(),
         }
     }
 
@@ -476,17 +485,33 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
-    /// Enables or disables the shared multi-pattern search (default
-    /// *enabled*). When enabled and the scheduler answers
-    /// [`RewriteScheduler::search_directive`] for every rule, each
-    /// iteration's search compiles all rule LHS programs into one
-    /// [`RuleSetProgram`] trie (once per run) and walks each root-op
-    /// bucket of the e-graph once, instead of once per rule. Match
-    /// sets are identical either way; disabling is useful as a
-    /// differential baseline and for timing comparisons.
-    pub fn with_shared_search(mut self, enabled: bool) -> Self {
-        self.shared_search = enabled;
+    /// Selects the e-matching strategy driving each iteration's rule
+    /// search (default [`SearchBackendKind::SharedTrie`]). The backend
+    /// is only engaged when the scheduler answers
+    /// `RewriteScheduler::search_directive` for every rule;
+    /// schedulers with bespoke search logic fall back to per-rule
+    /// `RewriteScheduler::search_rewrite` calls regardless of the
+    /// selection. Match sets are byte-identical across backends, so
+    /// this is a pure performance knob.
+    pub fn with_search_backend(mut self, backend: SearchBackendKind) -> Self {
+        self.backend = backend;
         self
+    }
+
+    /// Enables or disables the shared multi-pattern search.
+    ///
+    /// Deprecated alias (since the search-backend refactor; will be
+    /// removed one release later): forwards to
+    /// [`Runner::with_search_backend`] with
+    /// [`SearchBackendKind::SharedTrie`] (`true`, the default) or
+    /// [`SearchBackendKind::PerPatternVm`] (`false`), which preserve
+    /// this knob's two historical behaviors byte for byte.
+    pub fn with_shared_search(self, enabled: bool) -> Self {
+        self.with_search_backend(if enabled {
+            SearchBackendKind::SharedTrie
+        } else {
+            SearchBackendKind::PerPatternVm
+        })
     }
 
     /// Runs saturation with `rules` until a stop condition; returns
@@ -507,9 +532,10 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             n => n,
         }
         .min(rules.len().max(1));
-        // The shared multi-pattern trie is compiled lazily, once per
-        // run, the first iteration the scheduler's directives allow it.
-        let mut shared_program: Option<RuleSetProgram<L>> = None;
+        // The selected backend is instantiated lazily, once per run,
+        // the first iteration the scheduler's directives allow it
+        // (compiling the trie / relational query plans exactly once).
+        let mut backend: Option<Box<dyn SearchBackend<L, N> + '_>> = None;
         for iteration in 0..self.limits.iter_limit {
             if self.cancel.is_cancelled() {
                 self.stop_reason = Some(StopReason::Cancelled);
@@ -523,25 +549,29 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             // searches only read the e-graph; scheduler state and
             // profiles are updated afterwards, serially, in rule-index
             // order, so the fan-out below never changes results.
-            let directives: Option<Vec<RuleDirective>> = if self.shared_search {
-                rules
-                    .iter()
-                    .map(|r| self.scheduler.search_directive(iteration, r))
-                    .collect()
-            } else {
-                None
-            };
-            let searched = match directives {
+            let directives: Option<Vec<RuleDirective>> = rules
+                .iter()
+                .map(|r| self.scheduler.search_directive(iteration, r))
+                .collect();
+            let (searched, relation_build_time) = match directives {
                 Some(directives) => {
-                    let program = shared_program.get_or_insert_with(|| {
+                    let backend = backend.get_or_insert_with(|| {
                         let patterns: Vec<_> = rules.iter().map(|r| r.searcher()).collect();
-                        RuleSetProgram::compile(&patterns)
+                        make_backend(self.backend, patterns)
                     });
                     let deadline = start.checked_add(self.limits.time_limit);
-                    program.search(&self.egraph, &directives, &self.cancel, deadline, threads)
+                    let result =
+                        backend.search(&self.egraph, &directives, &self.cancel, deadline, threads);
+                    (result.slots, result.relation_build)
                 }
-                None if threads > 1 => self.search_parallel(rules, iteration, start, threads),
-                None => self.search_serial(rules, iteration, start),
+                // A scheduler with bespoke search logic (any rule's
+                // directive is `None`) forces the legacy per-rule
+                // scheduler-driven path, whatever backend is selected.
+                None if threads > 1 => (
+                    self.search_parallel(rules, iteration, start, threads),
+                    Duration::ZERO,
+                ),
+                None => (self.search_serial(rules, iteration, start), Duration::ZERO),
             };
             let search_time = search_start.elapsed();
 
@@ -612,6 +642,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 merge_time,
                 apply_time,
                 rebuild_time,
+                relation_build_time,
                 n_rebuilds,
                 rules_skipped,
             });

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use boole::json::{Json, ToJson};
 use boole::telemetry::{CacheTier, EventKind, TelemetrySink};
-use boole::{BoolE, CancelToken, PhaseEvent};
+use boole::{BoolE, CancelToken, PhaseEvent, SearchBackendKind};
 use egraph::hash::FxHashMap;
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
@@ -102,6 +102,13 @@ pub struct ServiceConfig {
     /// Results are byte-identical at any setting, so this never
     /// affects cache keys or reproducibility.
     pub search_threads: Option<usize>,
+    /// When set, every accepted job's saturation search runs on this
+    /// backend, overriding whatever the spec's params carry — the
+    /// operator-policy companion to [`ServiceConfig::search_threads`].
+    /// All backends produce byte-identical results, so this never
+    /// affects cache keys or reproducibility. `None` (the default)
+    /// leaves each spec's own `SaturateParams.search_backend` alone.
+    pub search_backend: Option<SearchBackendKind>,
     /// Overload behavior of [`Service::submit`]; the default blocks.
     pub shed_policy: ShedPolicy,
     /// Retry budget for transiently-failing jobs (I/O errors loading a
@@ -132,6 +139,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             telemetry: None,
             search_threads: None,
+            search_backend: None,
             shed_policy: ShedPolicy::Block,
             max_retries: 2,
             retry_base: Duration::from_millis(25),
@@ -171,6 +179,13 @@ impl ServiceConfig {
     /// [`ServiceConfig::search_threads`].
     pub fn with_search_threads(mut self, threads: usize) -> Self {
         self.search_threads = Some(threads);
+        self
+    }
+
+    /// Runs every job's saturation search on `backend`. See
+    /// [`ServiceConfig::search_backend`].
+    pub fn with_search_backend(mut self, backend: SearchBackendKind) -> Self {
+        self.search_backend = Some(backend);
         self
     }
 
@@ -566,6 +581,7 @@ pub struct Service {
     watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     search_threads: Option<usize>,
+    search_backend: Option<SearchBackendKind>,
     shed_policy: ShedPolicy,
 }
 
@@ -631,6 +647,7 @@ impl Service {
             watchdog: Some(watchdog),
             next_id: AtomicU64::new(1),
             search_threads: config.search_threads,
+            search_backend: config.search_backend,
             shed_policy: config.shed_policy,
         }
     }
@@ -644,6 +661,10 @@ impl Service {
         spec.params = std::mem::take(&mut spec.params).with_cancel_token(cancel.clone());
         if let Some(threads) = self.search_threads {
             spec.params.saturate.search_threads = threads;
+        }
+        if let Some(backend) = self.search_backend {
+            spec.params.saturate =
+                std::mem::take(&mut spec.params.saturate).with_search_backend(backend);
         }
         Arc::new(JobState {
             id,
@@ -1226,6 +1247,7 @@ fn execute_job(
                 nodes,
                 classes,
                 matches,
+                relation_build,
             } => {
                 telemetry.events.publish(EventKind::Iteration {
                     job: job_id,
@@ -1234,6 +1256,7 @@ fn execute_job(
                     nodes: *nodes,
                     classes: *classes,
                     matches: *matches,
+                    relation_build: *relation_build,
                 });
                 telemetry.metrics.gauge("egraph_nodes").set(*nodes as i64);
                 telemetry
